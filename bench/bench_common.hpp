@@ -1,0 +1,52 @@
+// Shared helpers for the experiment binaries: experiment banners keyed to
+// DESIGN.md's index, and scaling-fit reporting against the paper's
+// predicted shapes.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/fit.hpp"
+#include "util/table.hpp"
+
+namespace pramsim::bench {
+
+inline void banner(const char* exp_id, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("\n############################################################\n");
+  std::printf("# experiment %s — %s\n", exp_id, paper_artifact);
+  std::printf("# paper claim: %s\n", claim);
+  std::printf("############################################################\n\n");
+}
+
+/// Print the R^2 of every candidate shape for a measured series and call
+/// out whether the paper-predicted shape wins (or statistically ties the
+/// winner, within `tie_margin` of R^2).
+inline void report_fit(const std::string& series_name,
+                       std::span<const double> n, std::span<const double> y,
+                       const std::string& predicted_shape,
+                       double tie_margin = 0.02) {
+  const auto fits = util::fit_shapes(n, y);
+  util::Table table({"shape", "R^2", "slope", "intercept"});
+  table.set_title("fit of '" + series_name + "' (paper predicts " +
+                  predicted_shape + ")");
+  double predicted_r2 = 0.0;
+  for (const auto& fit : fits) {
+    table.add_row({fit.shape_name, fit.fit.r_squared, fit.fit.slope,
+                   fit.fit.intercept});
+    if (fit.shape_name == predicted_shape) {
+      predicted_r2 = fit.fit.r_squared;
+    }
+  }
+  table.print(4);
+  const bool reproduced = predicted_r2 >= fits.front().fit.r_squared - tie_margin;
+  std::printf("-> predicted shape '%s': R^2 = %.4f, best = '%s' (%.4f): %s\n\n",
+              predicted_shape.c_str(), predicted_r2,
+              fits.front().shape_name.c_str(), fits.front().fit.r_squared,
+              reproduced ? "REPRODUCED (within tie margin)"
+                         : "shape differs — see EXPERIMENTS.md discussion");
+}
+
+}  // namespace pramsim::bench

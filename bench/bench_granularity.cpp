@@ -1,0 +1,78 @@
+// Experiment G1: the paper's central thesis as a dose-response curve —
+// granularity (M = n^(1+eps)) vs the redundancy needed for polylog
+// deterministic simulation.
+//
+// For each eps the table shows the Lemma 2 threshold c, redundancy
+// r = 2c-1, granule size g = r*m/M, the bad-map union bound, and the
+// protocol rounds actually measured on the DMMPC at those parameters.
+// A second table sweeps the expansion parameter b at fixed eps.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/schemes.hpp"
+#include "memmap/params.hpp"
+#include "pram/trace.hpp"
+#include "util/table.hpp"
+
+using namespace pramsim;
+
+int main() {
+  bench::banner("G1", "Section 2 (granularity -> redundancy)",
+                "raising M from n to n^(1+eps) drops the required "
+                "redundancy from Theta(log m/loglog m) to the constant "
+                "(bk-eps)/(eps(b-2))");
+
+  const std::uint32_t n = 1024;
+  {
+    util::Table table({"eps", "M", "granule g", "Lemma2 c", "r=2c-1",
+                       "log2 f(bad maps)", "measured rounds/step"});
+    table.set_title("granularity sweep at n = 1024, k = 2, b = 4 (DMMPC)");
+    for (const double eps : {0.25, 0.5, 0.75, 1.0}) {
+      const auto params = memmap::derive_params(n, 2.0, eps, 4.0);
+      auto inst = core::make_scheme(
+          {.kind = core::SchemeKind::kDmmpc, .n = n, .eps = eps, .seed = 7});
+      const auto res =
+          core::run_stress(*inst.engine, n, inst.m, 3, 11,
+                           pram::exclusive_trace_families(), true);
+      const double bad = memmap::bad_map_log2_union_bound(
+          n, static_cast<double>(params.m),
+          static_cast<double>(params.n_modules), params.c, 4.0);
+      table.add_row({eps, static_cast<std::int64_t>(params.n_modules),
+                     params.granularity, static_cast<std::int64_t>(params.c),
+                     static_cast<std::int64_t>(params.r), bad,
+                     res.time.mean()});
+    }
+    table.print(2);
+    std::printf(
+        "\nAs eps rises (finer granules), the Lemma 2 constant c falls and\n"
+        "with it the redundancy — at constant measured round counts. The\n"
+        "MPC baseline (eps = 0) would need r = Theta(log m) (see T2).\n\n");
+  }
+
+  {
+    util::Table table({"b", "Lemma2 c", "r=2c-1", "required coverage",
+                       "measured rounds/step"});
+    table.set_title("expansion-parameter sweep at eps = 1 (larger b: weaker "
+                    "coverage requirement, smaller c)");
+    for (const double b : {3.0, 4.0, 6.0, 8.0, 16.0}) {
+      const auto c = memmap::lemma2_min_c(b, 2.0, 1.0);
+      const auto r = 2 * c - 1;
+      auto inst = core::make_scheme(
+          {.kind = core::SchemeKind::kDmmpc, .n = n, .b = b, .seed = 7});
+      const auto res =
+          core::run_stress(*inst.engine, n, inst.m, 3, 11,
+                           pram::exclusive_trace_families(), false);
+      table.add_row({b, static_cast<std::int64_t>(c),
+                     static_cast<std::int64_t>(r),
+                     std::string("(2c-1)q/" + std::to_string(b)),
+                     res.time.mean()});
+    }
+    table.print(1);
+    std::printf(
+        "\nb trades map quality against copies: larger b accepts weaker\n"
+        "expansion and buys smaller r; the protocol stays fast because the\n"
+        "live set still shrinks geometrically per round.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Experiment M1: microbenchmarks (google-benchmark) of the library's hot
+// paths — map queries, protocol rounds, packet routing, GF(256) coding,
+// P-RAM stepping. These are engineering numbers for users of the library,
+// not model quantities.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/schemes.hpp"
+#include "ida/dispersal.hpp"
+#include "ida/gf256.hpp"
+#include "majority/scheduler.hpp"
+#include "memmap/memory_map.hpp"
+#include "network/paths.hpp"
+#include "network/router.hpp"
+#include "pram/machine.hpp"
+#include "pram/programs.hpp"
+#include "util/rng.hpp"
+
+using namespace pramsim;
+
+namespace {
+
+void BM_Gf256Mul(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<std::uint8_t> xs(1024);
+  for (auto& x : xs) {
+    x = static_cast<std::uint8_t>(rng.below(256));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = xs[i % xs.size()];
+    const auto b = xs[(i + 7) % xs.size()];
+    benchmark::DoNotOptimize(ida::GF256::mul(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Gf256Mul);
+
+void BM_IdaEncodeWords(benchmark::State& state) {
+  const auto b = static_cast<std::uint32_t>(state.range(0));
+  ida::Disperser disperser({b, 2 * b});
+  util::Rng rng(2);
+  std::vector<pram::Word> block(b);
+  for (auto& w : block) {
+    w = static_cast<pram::Word>(rng.next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disperser.encode_words(block));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_IdaEncodeWords)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IdaRecoverWords(benchmark::State& state) {
+  const auto b = static_cast<std::uint32_t>(state.range(0));
+  ida::Disperser disperser({b, 2 * b});
+  util::Rng rng(3);
+  std::vector<pram::Word> block(b);
+  for (auto& w : block) {
+    w = static_cast<pram::Word>(rng.next());
+  }
+  const auto shares = disperser.encode_words(block);
+  std::vector<std::uint32_t> indices(b);
+  std::vector<pram::Word> vals(b);
+  for (std::uint32_t j = 0; j < b; ++j) {
+    indices[j] = b + j;
+    vals[j] = shares[b + j];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disperser.recover_words(indices, vals));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_IdaRecoverWords)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HashedMapCopies(benchmark::State& state) {
+  memmap::HashedMap map(1 << 20, 1 << 16, 7, 5);
+  std::array<ModuleId, 7> buf;
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    map.copies_into(VarId(v++ & ((1 << 20) - 1)), buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_HashedMapCopies);
+
+void BM_TableMapCopies(benchmark::State& state) {
+  memmap::TableMap map(1 << 16, 1 << 12, 7, 5);
+  std::array<ModuleId, 7> buf;
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    map.copies_into(VarId(v++ & ((1 << 16) - 1)), buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_TableMapCopies);
+
+void BM_DmmpcScheduleStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto inst = core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = n});
+  util::Rng rng(7);
+  const auto vars = rng.sample_without_replacement(inst.m, n);
+  std::vector<majority::VarRequest> reqs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.engine->run_step(reqs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DmmpcScheduleStep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MotEngineStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto inst = core::make_scheme({.kind = core::SchemeKind::kHpMot, .n = n});
+  util::Rng rng(8);
+  const auto vars = rng.sample_without_replacement(inst.m, n);
+  std::vector<majority::VarRequest> reqs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.engine->run_step(reqs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MotEngineStep)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RouterHeavyBatch(benchmark::State& state) {
+  const std::uint32_t S = 64;
+  util::Rng rng(9);
+  std::vector<net::Packet> proto(512);
+  for (std::uint32_t p = 0; p < 512; ++p) {
+    proto[p].id = p;
+    proto[p].path = net::hp_request_path(
+        S, static_cast<std::uint32_t>(rng.below(S)),
+        static_cast<std::uint32_t>(rng.below(S)),
+        static_cast<std::uint32_t>(rng.below(S)));
+  }
+  for (auto _ : state) {
+    auto packets = proto;
+    benchmark::DoNotOptimize(net::route_all(packets));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_RouterHeavyBatch);
+
+void BM_PramStepThroughput(benchmark::State& state) {
+  const std::uint32_t n = 256;
+  auto spec = pram::programs::prefix_sum(n);
+  pram::MachineConfig cfg{.n_processors = n,
+                          .m_shared_cells = spec.m_required,
+                          .policy = pram::ConflictPolicy::kErew};
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto prog = pram::programs::prefix_sum(n);
+    pram::Machine machine(cfg, std::move(prog.program));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(machine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PramStepThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Experiment T1: Theorem 1 — the redundancy lower bound and its collapse
+// under fine granularity.
+//
+// The proof's counting inequality is solved numerically for the minimal
+// average updated-copy count p (any scheme's redundancy r >= p):
+//
+//   (m/2) * C(M-2p, Q-2p) <= (n-1) * C(M, Q),   Q = n/h - 1.
+//
+// Table 1 sweeps the granularity exponent eps (M = n^(1+eps)) and the
+// allowed step time h; Table 2 grows n at fixed parameters to show the
+// eps = 0 (MPC-like) bound growing while the eps = 1 bound stays at 1.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "memmap/params.hpp"
+#include "util/table.hpp"
+
+using namespace pramsim;
+
+int main() {
+  bench::banner("T1", "Theorem 1 (lower bound on redundancy)",
+                "r = Omega((k-1) log n / (eps log n + log h)): constant for "
+                "eps > 0 and polylog h, Omega(log n / log h)-like at eps = 0");
+
+  // ---- Table 1: the (eps, h) surface at fixed n ----------------------
+  {
+    const double n = std::pow(2.0, 20);
+    const double m = n * n;  // k = 2
+    util::Table table({"eps", "M", "h", "numeric p_min",
+                       "closed form (paper)"});
+    table.set_title("Theorem 1 bound at n = 2^20, m = n^2");
+    for (const double eps : {0.0, 0.25, 0.5, 1.0}) {
+      const double M = std::pow(n, 1.0 + eps);
+      for (const double h : {2.0, 16.0, 256.0}) {
+        const auto p = memmap::theorem1_min_p(n, M, m, h);
+        const double closed =
+            eps > 0.0 || h > 1.0
+                ? memmap::theorem1_closed_form(n, 2.0, eps, h)
+                : 0.0;
+        table.add_row({eps, M, h, static_cast<std::int64_t>(p), closed});
+      }
+    }
+    table.print(2);
+    std::printf(
+        "\nReading: at eps = 0 (the MPC regime, M = n) fast simulation\n"
+        "(h = 2) forces p ~ 10 copies; the same h at eps = 1 needs ~1.\n"
+        "The closed form tracks the numeric bound to within its constant.\n");
+  }
+
+  // ---- Table 2: growth in n at eps = 0 vs collapse at eps = 1 --------
+  {
+    util::Table table({"n", "p_min (eps=0)", "p_min (eps=1)",
+                       "closed form eps=0", "closed form eps=1"});
+    table.set_title("granularity collapse as n grows (k = 2, h = 2)");
+    std::vector<double> ns;
+    std::vector<double> coarse;
+    for (const int log_n : {12, 16, 20, 24, 28}) {
+      const double n = std::pow(2.0, log_n);
+      const double m = n * n;
+      const auto p0 = memmap::theorem1_min_p(n, n, m, 2.0);
+      const auto p1 = memmap::theorem1_min_p(n, n * n, m, 2.0);
+      ns.push_back(n);
+      coarse.push_back(static_cast<double>(p0));
+      table.add_row({static_cast<std::int64_t>(n),
+                     static_cast<std::int64_t>(p0),
+                     static_cast<std::int64_t>(p1),
+                     memmap::theorem1_closed_form(n, 2.0, 1e-9, 2.0),
+                     memmap::theorem1_closed_form(n, 2.0, 1.0, 2.0)});
+    }
+    table.print(2);
+    bench::report_fit("p_min at eps=0", ns, coarse, "log n");
+    std::printf(
+        "The eps = 0 bound grows with n (the classic obstruction); the\n"
+        "eps = 1 column is pinned at 1: granularity removes the lower\n"
+        "bound, which is what makes Theorem 2/3's O(1) redundancy possible.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Rabin information dispersal demo (the Schuster alternative from the
+// paper's introduction): recode a message into d shares, destroy d-b of
+// them, recover the message from the survivors, and show the
+// work-amplification accounting of the block memory built on it.
+//
+// Build & run:  ./build/examples/example_ida_dispersal
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ida/dispersal.hpp"
+#include "ida/ida_memory.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace pramsim;
+
+  // ---- 1. disperse a message ----------------------------------------
+  const std::string message = "SPAA'89:granularity";
+  const std::uint32_t b = static_cast<std::uint32_t>(message.size());
+  const std::uint32_t d = 2 * b;  // storage factor 2, tolerate b erasures
+  ida::Disperser disperser({b, d});
+
+  std::vector<ida::GF256::Elem> block(message.begin(), message.end());
+  const auto shares = disperser.encode_bytes(block);
+  std::printf("message  : \"%s\" (%u bytes)\n", message.c_str(), b);
+  std::printf("dispersed: %u shares, storage factor %.2f\n", d,
+              disperser.storage_factor());
+
+  // ---- 2. destroy d-b shares at random -------------------------------
+  util::Rng rng(13);
+  const auto survivors = rng.sample_without_replacement(d, b);
+  std::vector<std::uint32_t> indices;
+  std::vector<ida::GF256::Elem> values;
+  for (const auto s : survivors) {
+    indices.push_back(static_cast<std::uint32_t>(s));
+    values.push_back(shares[s]);
+  }
+  std::printf("erased   : %u of %u shares (kept:", d - b, d);
+  for (const auto idx : indices) {
+    std::printf(" %u", idx);
+  }
+  std::printf(")\n");
+
+  const auto recovered = disperser.recover_bytes(indices, values);
+  const std::string out(recovered.begin(), recovered.end());
+  std::printf("recovered: \"%s\"  %s\n\n", out.c_str(),
+              out == message ? "[exact]" : "[CORRUPTED]");
+  if (out != message) {
+    return 1;
+  }
+
+  // ---- 3. the Schuster block memory ----------------------------------
+  ida::IdaMemoryConfig cfg{.b = 8, .d = 16, .n_modules = 64, .seed = 7};
+  ida::IdaMemory memory(1024, cfg);
+  std::printf("IdaMemory: m = 1024 vars in blocks of b = %u, d = %u shares\n",
+              cfg.b, cfg.d);
+
+  // Write then read a few scattered variables.
+  std::vector<pram::VarWrite> writes;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    writes.push_back({VarId(i * 61 % 1024),
+                      static_cast<pram::Word>(1000 + i)});
+  }
+  const auto wcost = memory.step({}, {}, writes);
+  std::vector<VarId> reads;
+  reads.reserve(writes.size());
+  for (const auto& w : writes) {
+    reads.push_back(w.var);
+  }
+  std::vector<pram::Word> got(reads.size());
+  const auto rcost = memory.step(reads, got, {});
+  bool ok = true;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    ok = ok && got[i] == writes[i].value;
+  }
+  std::printf("  16 writes: %llu rounds, %llu share accesses\n",
+              static_cast<unsigned long long>(wcost.time),
+              static_cast<unsigned long long>(wcost.work));
+  std::printf("  16 reads : %llu rounds, %llu share accesses\n",
+              static_cast<unsigned long long>(rcost.time),
+              static_cast<unsigned long long>(rcost.work));
+  std::printf("  values   : %s\n", ok ? "all correct" : "MISMATCH");
+  std::printf(
+      "  work amplification: %.1f variables processed per access\n"
+      "  (constant storage like the paper's scheme, but Theta(b) extra\n"
+      "  work per access — the trade the paper's Section 1 describes)\n",
+      memory.work_amplification());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Memory-map explorer: poke at Lemma 2 interactively-ish.
+//
+// For a machine size (n, k) this walks the granularity knob eps and the
+// expansion parameter b, printing for each configuration:
+//   * the Lemma 2 threshold c and redundancy r = 2c-1;
+//   * the union-bound log2 fraction of "bad" random maps;
+//   * the measured worst-case expansion of a concrete seeded map under a
+//     greedy adversarial live-copy selection (ratio >= 1 means the Lemma 2
+//     property held on every sampled live set).
+//
+// Usage: example_memory_map_explorer [n] [k]     (defaults: 256 2.0)
+#include <cstdio>
+#include <cstdlib>
+
+#include "memmap/expansion.hpp"
+#include "memmap/memory_map.hpp"
+#include "memmap/params.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pramsim;
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const double k = argc > 2 ? std::atof(argv[2]) : 2.0;
+  if (n < 16) {
+    std::fprintf(stderr, "n must be >= 16\n");
+    return 1;
+  }
+
+  std::printf("Lemma 2 explorer: n = %u processors, m = n^%.1f variables\n\n",
+              n, k);
+
+  util::Table table({"eps", "b", "c", "r=2c-1", "M", "granule g",
+                     "log2 f(bad maps)", "measured ratio", "property"});
+  table.set_title("constant redundancy as granularity rises");
+
+  for (const double eps : {0.5, 1.0, 1.5, 2.0}) {
+    for (const double b : {3.0, 4.0, 8.0}) {
+      const auto params = memmap::derive_params(n, k, eps, b);
+      const double bad = memmap::bad_map_log2_union_bound(
+          n, static_cast<double>(params.m),
+          static_cast<double>(params.n_modules), params.c, b);
+      memmap::HashedMap map(params.m, params.n_modules, params.r,
+                            /*seed=*/1234);
+      const std::uint64_t q =
+          std::max<std::uint64_t>(1, params.n / params.r);
+      const auto exp =
+          memmap::measure_expansion(map, params.c, q, /*trials=*/20,
+                                    /*seed=*/99);
+      const double ratio = exp.ratio_vs_bound(b);
+      table.add_row({eps, b, static_cast<std::int64_t>(params.c),
+                     static_cast<std::int64_t>(params.r),
+                     static_cast<std::int64_t>(params.n_modules),
+                     params.granularity, bad, ratio,
+                     std::string(ratio >= 1.0 ? "holds" : "VIOLATED")});
+    }
+  }
+  table.print(2);
+
+  std::printf(
+      "\nReading the table: c depends only on (b, k, eps) — never on n.\n"
+      "log2 f << 0 means almost every random map has the Lemma 2 expansion\n"
+      "property; 'measured ratio' confirms it on this concrete seeded map\n"
+      "(distinct modules covered / required (2c-1)q/b, minimum over trials\n"
+      "under a greedy adversarial choice of live copies).\n");
+  return 0;
+}

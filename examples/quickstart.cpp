@@ -1,0 +1,74 @@
+// Quickstart: the 60-second tour of pramsim's public API.
+//
+// 1. Assemble the paper's machine (Theorem 3: a 2DMOT with constant
+//    redundancy) with one factory call.
+// 2. Feed it a worst-case-ish P-RAM step and read the simulated cost.
+// 3. Run a real P-RAM program on top of it and check the answer.
+//
+// Build & run:  ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/driver.hpp"
+#include "core/schemes.hpp"
+#include "pram/machine.hpp"
+#include "pram/programs.hpp"
+#include "pram/trace.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace pramsim;
+
+  // ---- 1. the Theorem 3 machine -------------------------------------
+  const std::uint32_t n = 64;  // P-RAM processors
+  core::SchemeSpec spec{.kind = core::SchemeKind::kHpMot, .n = n, .seed = 42};
+  auto scheme = core::make_scheme(spec);
+  std::printf("scheme          : %s\n", scheme.name.c_str());
+  std::printf("processors      : %u\n", n);
+  std::printf("shared vars (m) : %llu\n",
+              static_cast<unsigned long long>(scheme.m));
+  std::printf("modules (M)     : %u  (granularity eps = %.2f)\n",
+              scheme.n_modules, scheme.eps_effective);
+  std::printf("redundancy (r)  : %u copies/var  <- constant, the headline\n",
+              scheme.r);
+  std::printf("switches        : %llu  (O(M), Fig. 8)\n\n",
+              static_cast<unsigned long long>(scheme.switches));
+
+  // ---- 2. one hard P-RAM step ----------------------------------------
+  util::Rng rng(7);
+  const auto batch =
+      pram::make_batch(pram::TraceFamily::kPermutation, n, scheme.m, rng);
+  const auto requests = core::to_requests(batch);
+  const auto step = scheme.engine->run_step(requests);
+  std::printf("one P-RAM step (%zu distinct accesses):\n", requests.size());
+  std::printf("  network cycles : %llu\n",
+              static_cast<unsigned long long>(step.time));
+  std::printf("  copy accesses  : %llu\n",
+              static_cast<unsigned long long>(step.work));
+  std::printf("  live after stage 1: %llu (bound n/(2c-1) = %u)\n\n",
+              static_cast<unsigned long long>(step.stats.live_after_stage1),
+              n / scheme.r);
+
+  // ---- 3. a real program end-to-end ----------------------------------
+  auto program = pram::programs::prefix_sum(n);
+  pram::MachineConfig cfg{.n_processors = n,
+                          .m_shared_cells = program.m_required,
+                          .policy = pram::ConflictPolicy::kErew};
+  spec.min_vars = program.m_required;
+  pram::Machine machine(cfg, std::move(program.program),
+                        core::make_memory(spec));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    machine.poke_shared(VarId(i), 1);  // prefix-sum of all ones = 1..n
+  }
+  const auto run = machine.run();
+  std::printf("prefix_sum(%u) on the simulated machine:\n", n);
+  std::printf("  completed      : %s\n", run.completed() ? "yes" : "NO");
+  std::printf("  P-RAM steps    : %llu\n",
+              static_cast<unsigned long long>(run.steps));
+  std::printf("  simulated time : %llu cycles (slowdown %.1fx)\n",
+              static_cast<unsigned long long>(run.mem_time),
+              static_cast<double>(run.mem_time) /
+                  static_cast<double>(run.steps));
+  std::printf("  x[n-1] = %lld (expect %u)\n",
+              static_cast<long long>(machine.shared(VarId(n - 1))), n);
+  return machine.shared(VarId(n - 1)) == n ? 0 : 1;
+}

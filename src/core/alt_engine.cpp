@@ -1,0 +1,48 @@
+#include "core/alt_engine.hpp"
+
+#include <utility>
+
+#include "majority/scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::core {
+
+AltBdnEngine::AltBdnEngine(std::shared_ptr<const memmap::MemoryMap> map,
+                           majority::SchedulerConfig scheduler)
+    : map_(std::move(map)),
+      scheduler_(scheduler),
+      network_(sortnet::batcher_sort(
+          util::is_pow2(scheduler.n_processors)
+              ? scheduler.n_processors
+              : static_cast<std::uint32_t>(
+                    util::next_pow2(scheduler.n_processors)))) {
+  PRAMSIM_ASSERT(map_ != nullptr);
+  PRAMSIM_ASSERT(map_->redundancy() == 2 * scheduler_.c - 1);
+  PRAMSIM_ASSERT_MSG(map_->num_modules() == scheduler_.n_processors,
+                     "the BDN hosts one module per processor node");
+  const auto log_n = static_cast<std::uint64_t>(
+      scheduler_.n_processors > 1
+          ? util::ilog2_ceil(scheduler_.n_processors)
+          : 1);
+  cycles_per_round_ = network_.depth() + 2 * log_n;
+}
+
+majority::EngineResult AltBdnEngine::run_step(
+    std::span<const majority::VarRequest> requests) {
+  const auto schedule =
+      majority::schedule_step(*map_, requests, scheduler_);
+  majority::EngineResult result;
+  result.time = schedule.rounds * cycles_per_round_;
+  result.work = schedule.total_copy_accesses;
+  result.accessed_mask = schedule.accessed_mask;
+  result.stats.phases = schedule.rounds;
+  result.stats.stage1_phases = schedule.stage1_rounds;
+  result.stats.stage2_phases = schedule.stage2_rounds;
+  result.stats.live_after_stage1 = schedule.live_after_stage1;
+  result.stats.max_queue = schedule.max_module_queue;
+  result.stats.live_per_phase = schedule.live_per_round;
+  return result;
+}
+
+}  // namespace pramsim::core

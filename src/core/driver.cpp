@@ -1,0 +1,75 @@
+#include "core/driver.hpp"
+
+#include <unordered_set>
+
+#include "memmap/expansion.hpp"
+#include "util/rng.hpp"
+
+namespace pramsim::core {
+
+std::vector<majority::VarRequest> to_requests(const pram::AccessBatch& batch) {
+  std::vector<majority::VarRequest> requests;
+  requests.reserve(batch.size());
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(batch.size());
+  for (const auto& access : batch) {
+    if (seen.insert(access.var.value()).second) {
+      requests.push_back({access.var, access.proc});
+    }
+  }
+  return requests;
+}
+
+TraceRunResult run_trace(majority::AccessEngine& engine,
+                         std::span<const pram::AccessBatch> trace) {
+  TraceRunResult result;
+  for (const auto& batch : trace) {
+    const auto requests = to_requests(batch);
+    const auto step = engine.run_step(requests);
+    result.time.add(static_cast<double>(step.time));
+    result.work.add(static_cast<double>(step.work));
+    result.live_after_stage1.add(
+        static_cast<double>(step.stats.live_after_stage1));
+    ++result.steps;
+  }
+  return result;
+}
+
+TraceRunResult run_stress(majority::AccessEngine& engine, std::uint32_t n,
+                          std::uint64_t m, std::size_t steps_per_family,
+                          std::uint64_t seed,
+                          std::span<const pram::TraceFamily> families,
+                          bool include_map_adversarial) {
+  util::Rng rng(seed);
+  TraceRunResult total;
+  for (const auto family : families) {
+    auto family_rng = rng.split();
+    const auto trace =
+        pram::make_trace(family, n, m, steps_per_family, family_rng);
+    const auto partial = run_trace(engine, trace);
+    total.time.merge(partial.time);
+    total.work.merge(partial.work);
+    total.live_after_stage1.merge(partial.live_after_stage1);
+    total.steps += partial.steps;
+  }
+  if (include_map_adversarial) {
+    for (std::size_t s = 0; s < steps_per_family; ++s) {
+      const auto vars =
+          memmap::adversarial_batch(engine.map(), n, rng.next());
+      std::vector<majority::VarRequest> requests;
+      requests.reserve(vars.size());
+      for (std::uint32_t i = 0; i < vars.size(); ++i) {
+        requests.push_back({vars[i], ProcId(i % n)});
+      }
+      const auto step = engine.run_step(requests);
+      total.time.add(static_cast<double>(step.time));
+      total.work.add(static_cast<double>(step.work));
+      total.live_after_stage1.add(
+          static_cast<double>(step.stats.live_after_stage1));
+      ++total.steps;
+    }
+  }
+  return total;
+}
+
+}  // namespace pramsim::core

@@ -1,0 +1,43 @@
+// Trace driver: feeds synthetic access batches (pram/trace.hpp) and
+// map-adversarial batches through an AccessEngine and aggregates the
+// per-step costs. This is the measurement loop behind the Theorem 2/3
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "majority/engine.hpp"
+#include "pram/trace.hpp"
+#include "util/stats.hpp"
+
+namespace pramsim::core {
+
+struct TraceRunResult {
+  util::RunningStats time;   ///< per-step simulated time (rounds/cycles)
+  util::RunningStats work;   ///< per-step copy accesses
+  util::RunningStats live_after_stage1;
+  std::uint64_t steps = 0;
+};
+
+/// Deduplicate a raw access batch into distinct-variable requests,
+/// keeping the first requesting processor per variable.
+[[nodiscard]] std::vector<majority::VarRequest> to_requests(
+    const pram::AccessBatch& batch);
+
+/// Run every batch of `trace` through the engine.
+[[nodiscard]] TraceRunResult run_trace(
+    majority::AccessEngine& engine,
+    std::span<const pram::AccessBatch> trace);
+
+/// Convenience: `steps` batches of each given family, plus (optionally)
+/// map-adversarial batches, through the engine; returns aggregate over
+/// everything (the "arbitrary step" stress the theorems quantify over).
+[[nodiscard]] TraceRunResult run_stress(
+    majority::AccessEngine& engine, std::uint32_t n, std::uint64_t m,
+    std::size_t steps_per_family, std::uint64_t seed,
+    std::span<const pram::TraceFamily> families,
+    bool include_map_adversarial = true);
+
+}  // namespace pramsim::core

@@ -1,0 +1,34 @@
+#include "core/prom.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pramsim::core {
+
+MapTableBits map_table_bits(std::uint32_t n_processors, std::uint64_t m_vars,
+                            std::uint32_t redundancy,
+                            std::uint32_t n_modules) {
+  PRAMSIM_ASSERT(n_processors >= 1 && m_vars >= 1 && redundancy >= 1 &&
+                 n_modules >= 1);
+  const auto bits_per_entry =
+      static_cast<std::uint64_t>(redundancy) *
+      static_cast<std::uint64_t>(util::ilog2_ceil(n_modules) + 1);
+  MapTableBits out;
+  out.per_processor = m_vars * bits_per_entry;
+  out.local_total = out.per_processor * n_processors;
+  out.prom_total = out.per_processor;
+  out.reduction_factor = static_cast<double>(n_processors);
+  return out;
+}
+
+ModuleId prom_home_module(VarId var, std::uint32_t n_modules) {
+  PRAMSIM_ASSERT(n_modules >= 1);
+  // Stateless uniform placement; any fixed hash works since the entry
+  // location must only be computable by every processor locally.
+  util::SplitMix64 mixer(0x9E3779B97F4A7C15ULL ^
+                         (static_cast<std::uint64_t>(var.value()) * 0x2545F4914F6CDD1DULL));
+  return ModuleId(static_cast<std::uint32_t>(mixer.next() % n_modules));
+}
+
+}  // namespace pramsim::core

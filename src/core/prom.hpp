@@ -1,0 +1,46 @@
+// P-ROM: the paper's conclusion-section proposal, implemented.
+//
+// The non-constructive Lemma 2 map must be *stored*: naively every
+// processor keeps its own copy of the full variable->modules table,
+// O(m log rM) bits each, O(mn log rM) total — the cost the paper calls
+// out. Its proposed remedy: "simulate a P-ROM, a parallel read-only
+// memory, that would support simultaneous address look-up for all
+// processors, and thus reduce the total look-up table size from
+// O(mn log rm) to O(m log rm) bits."
+//
+// We realize exactly that on the 2DMOT: the table is distributed over the
+// M leaf modules (the entry for variable v lives at module hash(v)); a
+// simulation step is preceded by a lookup phase in which every requesting
+// processor routes a read to its variable's table entry and back. The
+// phase costs network cycles (measured by bench_prom) but removes the
+// per-processor tables; MotEngineConfig::prom_lookup turns it on.
+//
+// (With a HashedMap the table is not needed at all — copies are computed
+// — which is the paper's *other* wish, "a memory map that could be
+// constructed by simple computations within a processor"; the bench
+// contrasts all three storage regimes.)
+#pragma once
+
+#include <cstdint>
+
+#include "util/strong_id.hpp"
+
+namespace pramsim::core {
+
+/// Storage accounting for the three map-table regimes.
+struct MapTableBits {
+  std::uint64_t per_processor = 0;  ///< one local table: m * r * ceil(log2 M)
+  std::uint64_t local_total = 0;    ///< n local tables (the naive cost)
+  std::uint64_t prom_total = 0;     ///< one distributed table (the P-ROM)
+  double reduction_factor = 0.0;    ///< local_total / prom_total (= n)
+};
+
+[[nodiscard]] MapTableBits map_table_bits(std::uint32_t n_processors,
+                                          std::uint64_t m_vars,
+                                          std::uint32_t redundancy,
+                                          std::uint32_t n_modules);
+
+/// The module holding variable `var`'s table entry (uniform, stateless).
+[[nodiscard]] ModuleId prom_home_module(VarId var, std::uint32_t n_modules);
+
+}  // namespace pramsim::core

@@ -1,0 +1,207 @@
+#include "core/schemes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/alt_engine.hpp"
+#include "core/mot_engine.hpp"
+#include "network/topology.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::core {
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kHpMot: return "HP-2DMOT";
+    case SchemeKind::kCrossbar: return "HP-crossbar";
+    case SchemeKind::kLppMot: return "LPP-2DMOT";
+    case SchemeKind::kDmmpc: return "HP-DMMPC";
+    case SchemeKind::kUwMpc: return "UW-MPC";
+    case SchemeKind::kAltBdn: return "Alt-BDN(sort)";
+  }
+  return "???";
+}
+
+namespace {
+
+std::uint64_t vars_for(const SchemeSpec& spec) {
+  const auto m = static_cast<std::uint64_t>(
+      std::llround(std::pow(static_cast<double>(spec.n), spec.k)));
+  return std::max<std::uint64_t>({m, spec.min_vars, spec.n});
+}
+
+double effective_eps(std::uint32_t n, std::uint64_t n_modules) {
+  return std::log2(static_cast<double>(n_modules)) /
+             std::log2(static_cast<double>(n)) -
+         1.0;
+}
+
+}  // namespace
+
+SchemeInstance make_scheme(const SchemeSpec& spec) {
+  PRAMSIM_ASSERT(spec.n >= 4);
+  SchemeInstance inst;
+  inst.name = to_string(spec.kind);
+  inst.m = vars_for(spec);
+
+  const double nd = spec.n;
+  switch (spec.kind) {
+    case SchemeKind::kHpMot: {
+      PRAMSIM_ASSERT(util::is_pow2(spec.n));
+      // Square side: at least n (processors at the first n row roots),
+      // at least ~n^((1+eps)/2), power of two.
+      const auto target_side = static_cast<std::uint64_t>(
+          std::llround(std::pow(nd, (1.0 + spec.eps) / 2.0)));
+      const std::uint64_t side = std::max<std::uint64_t>(
+          spec.n, util::next_pow2(std::max<std::uint64_t>(target_side, 4)));
+      const std::uint64_t M = side * side;
+      PRAMSIM_ASSERT_MSG(M <= inst.m,
+                         "module count exceeds variables; raise k or min_vars");
+      inst.n_modules = static_cast<std::uint32_t>(M);
+      inst.eps_effective = effective_eps(spec.n, inst.n_modules);
+      inst.c = memmap::lemma2_min_c(spec.b, spec.k,
+                                    std::max(inst.eps_effective, 0.25));
+      inst.r = 2 * inst.c - 1;
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      MotEngineConfig cfg;
+      cfg.scheme = MotScheme::kHpLeaves;
+      cfg.n_processors = spec.n;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.lca_turnaround = spec.lca_turnaround;
+      cfg.prom_lookup = spec.prom_lookup;
+      auto engine = std::make_unique<MotEngine>(map, cfg);
+      inst.switches =
+          net::summarize(engine->shape()).switches;
+      inst.request_hops = engine->request_hops();
+      inst.map = std::move(map);
+      inst.engine = std::move(engine);
+      break;
+    }
+    case SchemeKind::kCrossbar: {
+      PRAMSIM_ASSERT(util::is_pow2(spec.n));
+      const auto target = static_cast<std::uint64_t>(
+          std::llround(std::pow(nd, 1.0 + spec.eps)));
+      const std::uint64_t M = std::min<std::uint64_t>(
+          util::next_pow2(std::max<std::uint64_t>(target, 4)), inst.m);
+      PRAMSIM_ASSERT(util::is_pow2(M));
+      inst.n_modules = static_cast<std::uint32_t>(M);
+      inst.eps_effective = effective_eps(spec.n, inst.n_modules);
+      inst.c = memmap::lemma2_min_c(spec.b, spec.k,
+                                    std::max(inst.eps_effective, 0.25));
+      inst.r = 2 * inst.c - 1;
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      MotEngineConfig cfg;
+      cfg.scheme = MotScheme::kCrossbar;
+      cfg.n_processors = spec.n;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.prom_lookup = spec.prom_lookup;
+      auto engine = std::make_unique<MotEngine>(map, cfg);
+      inst.switches = net::summarize(engine->shape()).switches;
+      inst.request_hops = engine->request_hops();
+      inst.map = std::move(map);
+      inst.engine = std::move(engine);
+      break;
+    }
+    case SchemeKind::kLppMot: {
+      PRAMSIM_ASSERT(util::is_pow2(spec.n) && spec.n >= 4);
+      inst.n_modules = spec.n;  // one module per root processor
+      inst.eps_effective = 0.0;
+      inst.c = memmap::uw_c(inst.m, spec.b);
+      inst.r = 2 * inst.c - 1;
+      PRAMSIM_ASSERT_MSG(inst.r <= inst.n_modules,
+                         "log-redundancy map needs r <= n modules");
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      MotEngineConfig cfg;
+      cfg.scheme = MotScheme::kLppRoots;
+      cfg.n_processors = spec.n;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.prom_lookup = spec.prom_lookup;
+      auto engine = std::make_unique<MotEngine>(map, cfg);
+      inst.switches = net::summarize(engine->shape()).switches;
+      inst.request_hops = engine->request_hops();
+      inst.map = std::move(map);
+      inst.engine = std::move(engine);
+      break;
+    }
+    case SchemeKind::kDmmpc: {
+      const auto M64 = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(
+              std::llround(std::pow(nd, 1.0 + spec.eps))),
+          inst.m);
+      inst.n_modules = static_cast<std::uint32_t>(M64);
+      inst.eps_effective = effective_eps(spec.n, inst.n_modules);
+      inst.c = memmap::lemma2_min_c(spec.b, spec.k, spec.eps);
+      inst.r = 2 * inst.c - 1;
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      majority::SchedulerConfig cfg;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.n_processors = spec.n;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.all_at_once = spec.all_at_once;
+      inst.engine = std::make_unique<majority::DmmpcEngine>(map, cfg);
+      inst.map = std::move(map);
+      break;
+    }
+    case SchemeKind::kUwMpc: {
+      inst.n_modules = spec.n;  // the MPC: one module per processor
+      inst.eps_effective = 0.0;
+      inst.c = memmap::uw_c(inst.m, spec.b);
+      inst.r = 2 * inst.c - 1;
+      PRAMSIM_ASSERT_MSG(inst.r <= inst.n_modules,
+                         "log-redundancy map needs r <= n modules");
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      majority::SchedulerConfig cfg;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.n_processors = spec.n;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.all_at_once = spec.all_at_once;
+      inst.engine = std::make_unique<majority::DmmpcEngine>(map, cfg);
+      inst.map = std::move(map);
+      break;
+    }
+    case SchemeKind::kAltBdn: {
+      PRAMSIM_ASSERT(util::is_pow2(spec.n));
+      inst.n_modules = spec.n;  // BDN: one module per node
+      inst.eps_effective = 0.0;
+      inst.c = memmap::uw_c(inst.m, spec.b);
+      inst.r = 2 * inst.c - 1;
+      PRAMSIM_ASSERT_MSG(inst.r <= inst.n_modules,
+                         "log-redundancy map needs r <= n modules");
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      majority::SchedulerConfig cfg;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.n_processors = spec.n;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.all_at_once = spec.all_at_once;
+      auto engine = std::make_unique<AltBdnEngine>(map, cfg);
+      inst.request_hops = engine->cycles_per_round();
+      inst.map = std::move(map);
+      inst.engine = std::move(engine);
+      break;
+    }
+  }
+  return inst;
+}
+
+std::unique_ptr<majority::MajorityMemory> make_memory(const SchemeSpec& spec) {
+  auto inst = make_scheme(spec);
+  return std::make_unique<majority::MajorityMemory>(std::move(inst.engine));
+}
+
+}  // namespace pramsim::core

@@ -1,0 +1,86 @@
+// Scheme factory: one entry point that assembles each of the simulation
+// machines studied in the paper, with all parameters derived from
+// (n, k, eps, b, seed):
+//
+//  | kind       | machine model        | interconnect     | redundancy    |
+//  |------------|----------------------|------------------|---------------|
+//  | kHpMot     | DMBDN (Theorem 3)    | sqrt(M) x sqrt(M)| Theta(1)      |
+//  |            |                      | 2DMOT, modules   | (Lemma 2)     |
+//  |            |                      | at leaves        |               |
+//  | kCrossbar  | DMBDN (Fig. 7)       | n x M 2DMOT      | Theta(1)      |
+//  | kLppMot    | BDN (LPP'90 baseline)| n x n 2DMOT,     | Theta(log n)  |
+//  |            |                      | modules at roots |               |
+//  | kDmmpc     | DMMPC (Theorem 2)    | complete K_{n,M} | Theta(1)      |
+//  | kUwMpc     | MPC (UW'87 baseline) | complete K_n     | Theta(log m)  |
+//  | kAltBdn    | BDN (Alt et al. '87) | sorting network  | Theta(log m)  |
+//
+// Geometry notes: the square 2DMOT hosts processors at the first n
+// row-tree roots, so its side is max(n, ~n^((1+eps)/2)) rounded to a power
+// of two; with the default eps = 1 the side is exactly n and M = n^2. The
+// scheme's effective granularity exponent (derived from the actual module
+// count) feeds the Lemma 2 threshold so redundancy is always honest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "majority/engine.hpp"
+#include "majority/majority_memory.hpp"
+#include "memmap/memory_map.hpp"
+#include "memmap/params.hpp"
+#include "pram/memory_system.hpp"
+
+namespace pramsim::core {
+
+enum class SchemeKind : std::uint8_t {
+  kHpMot,      ///< the paper's contribution (Theorem 3)
+  kCrossbar,   ///< Fig. 7 variant
+  kLppMot,     ///< Luccio et al. 1990 baseline
+  kDmmpc,      ///< Theorem 2 machine
+  kUwMpc,      ///< Upfal-Wigderson 1987 MPC baseline
+  kAltBdn,     ///< Alt et al. 1987 sorting-network BDN baseline (modeled)
+};
+
+[[nodiscard]] const char* to_string(SchemeKind kind);
+
+struct SchemeSpec {
+  SchemeKind kind = SchemeKind::kHpMot;
+  std::uint32_t n = 64;    ///< processors (power of two >= 4 for MOT kinds)
+  double k = 2.0;          ///< m = n^k
+  double eps = 1.0;        ///< target M = n^(1+eps) (granularity)
+  double b = 4.0;          ///< Lemma 2 expansion parameter
+  std::uint64_t seed = 1;  ///< memory-map seed
+  /// Ensure the map covers at least this many variables (program
+  /// footprints); 0 = just n^k.
+  std::uint64_t min_vars = 0;
+  // Protocol knobs.
+  std::uint32_t stage1_turns = 2;
+  bool lca_turnaround = false;
+  bool all_at_once = false;  ///< DMMPC ablation (no clustering)
+  /// MOT kinds only: precede steps with the P-ROM address-translation
+  /// phase (paper conclusion; replaces per-processor map tables).
+  bool prom_lookup = false;
+};
+
+/// A fully assembled scheme: map + engine + bookkeeping for tables.
+struct SchemeInstance {
+  std::string name;
+  std::shared_ptr<const memmap::MemoryMap> map;
+  std::unique_ptr<majority::AccessEngine> engine;
+  std::uint64_t m = 0;           ///< variables covered by the map
+  std::uint32_t n_modules = 0;   ///< M
+  std::uint32_t c = 0;
+  std::uint32_t r = 0;           ///< redundancy
+  double eps_effective = 0.0;    ///< log2(M)/log2(n) - 1 actually realized
+  std::uint64_t switches = 0;    ///< extra network nodes (0 for MPC/DMMPC)
+  std::uint64_t request_hops = 0;  ///< one-way route length (MOT kinds)
+};
+
+[[nodiscard]] SchemeInstance make_scheme(const SchemeSpec& spec);
+
+/// The scheme as a pluggable shared memory for pram::Machine.
+[[nodiscard]] std::unique_ptr<majority::MajorityMemory> make_memory(
+    const SchemeSpec& spec);
+
+}  // namespace pramsim::core

@@ -1,0 +1,79 @@
+#include "hashing/mv_memory.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace pramsim::hashing {
+
+MvMemory::MvMemory(std::uint64_t m_vars, MvMemoryConfig config)
+    : config_(config),
+      rng_(config.seed),
+      hash_(config.k_wise, config.n_modules, rng_),
+      cells_(m_vars, 0) {
+  PRAMSIM_ASSERT(m_vars >= 1 && config_.n_modules >= 1);
+}
+
+std::uint32_t MvMemory::module_of(VarId var) const {
+  return static_cast<std::uint32_t>(hash_(var.value()));
+}
+
+pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
+                                 std::span<pram::Word> read_values,
+                                 std::span<const pram::VarWrite> writes) {
+  PRAMSIM_ASSERT(reads.size() == read_values.size());
+  // Distinct variables touched this step, per module.
+  std::unordered_map<std::uint32_t, std::uint32_t> load;
+  std::unordered_set<std::uint32_t> seen;
+  auto touch = [&](VarId var) {
+    if (seen.insert(var.value()).second) {
+      ++load[module_of(var)];
+    }
+  };
+  for (const auto var : reads) {
+    PRAMSIM_ASSERT(var.index() < cells_.size());
+    touch(var);
+  }
+  for (const auto& w : writes) {
+    PRAMSIM_ASSERT(w.var.index() < cells_.size());
+    touch(w.var);
+  }
+  std::uint32_t max_load = 0;
+  for (const auto& [module, count] : load) {
+    (void)module;
+    max_load = std::max(max_load, count);
+  }
+  load_stats_.add(static_cast<double>(max_load));
+
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    read_values[i] = cells_[reads[i].index()];
+  }
+  for (const auto& w : writes) {
+    cells_[w.var.index()] = w.value;
+  }
+
+  if (config_.rehash_threshold != 0 && max_load > config_.rehash_threshold) {
+    // Draw a fresh hash function. In a real machine this migrates every
+    // cell (an O(m/M + log n) expected-time global operation); we charge
+    // one extra max_load of time and count the event.
+    hash_ = PolynomialHash(config_.k_wise, config_.n_modules, rng_);
+    ++rehashes_;
+  }
+
+  return pram::MemStepCost{.time = max_load,
+                           .work = seen.size()};
+}
+
+pram::Word MvMemory::peek(VarId var) const {
+  PRAMSIM_ASSERT(var.index() < cells_.size());
+  return cells_[var.index()];
+}
+
+void MvMemory::poke(VarId var, pram::Word value) {
+  PRAMSIM_ASSERT(var.index() < cells_.size());
+  cells_[var.index()] = value;
+}
+
+}  // namespace pramsim::hashing

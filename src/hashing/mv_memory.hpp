@@ -1,0 +1,58 @@
+// MvMemory: the Mehlhorn-Vishkin probabilistic baseline — one copy per
+// variable, placed by a universal hash over M modules. Per-step time is
+// the maximum number of distinct requested variables hashing to one
+// module (each module serves one request per round). No worst-case
+// guarantee: an adversary who knows the hash can force n rounds, which is
+// exactly the contrast with the paper's deterministic scheme.
+//
+// An optional rehash policy re-draws the hash function (and conceptually
+// migrates memory) whenever a step exceeds a load threshold; the count of
+// rehashes is reported so benches can show the hidden cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hashing/universal.hpp"
+#include "pram/memory_system.hpp"
+#include "util/stats.hpp"
+
+namespace pramsim::hashing {
+
+struct MvMemoryConfig {
+  std::uint32_t n_modules = 64;
+  std::uint32_t k_wise = 2;  ///< independence of the hash family
+  std::uint64_t seed = 1;
+  /// Rehash when a step's max module load exceeds this (0 = never).
+  std::uint32_t rehash_threshold = 0;
+};
+
+class MvMemory final : public pram::MemorySystem {
+ public:
+  MvMemory(std::uint64_t m_vars, MvMemoryConfig config);
+
+  pram::MemStepCost step(std::span<const VarId> reads,
+                         std::span<pram::Word> read_values,
+                         std::span<const pram::VarWrite> writes) override;
+
+  [[nodiscard]] std::uint64_t size() const override { return cells_.size(); }
+  [[nodiscard]] pram::Word peek(VarId var) const override;
+  void poke(VarId var, pram::Word value) override;
+
+  [[nodiscard]] std::uint32_t module_of(VarId var) const;
+  [[nodiscard]] std::uint64_t rehashes() const { return rehashes_; }
+  [[nodiscard]] const util::RunningStats& load_stats() const {
+    return load_stats_;
+  }
+
+ private:
+  MvMemoryConfig config_;
+  util::Rng rng_;
+  PolynomialHash hash_;
+  std::vector<pram::Word> cells_;
+  std::uint64_t rehashes_ = 0;
+  util::RunningStats load_stats_;  ///< per-step max module load
+};
+
+}  // namespace pramsim::hashing

@@ -1,0 +1,45 @@
+#include "hashing/universal.hpp"
+
+#include "util/assert.hpp"
+
+namespace pramsim::hashing {
+
+std::uint64_t reduce_m61(std::uint64_t x) {
+  std::uint64_t r = (x & kMersenne61) + (x >> 61);
+  if (r >= kMersenne61) {
+    r -= kMersenne61;
+  }
+  return r;
+}
+
+std::uint64_t mul_mod_m61(std::uint64_t a, std::uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kMersenne61;
+  const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce_m61(lo + hi);
+}
+
+PolynomialHash::PolynomialHash(std::uint32_t k_wise, std::uint64_t range,
+                               util::Rng& rng)
+    : coeffs_(k_wise), range_(range) {
+  PRAMSIM_ASSERT(k_wise >= 2);
+  PRAMSIM_ASSERT(range >= 1);
+  for (auto& coeff : coeffs_) {
+    coeff = rng.below(kMersenne61);
+  }
+  // Leading coefficient nonzero so the polynomial has full degree.
+  if (coeffs_.back() == 0) {
+    coeffs_.back() = 1;
+  }
+}
+
+std::uint64_t PolynomialHash::operator()(std::uint64_t x) const {
+  const std::uint64_t xr = reduce_m61(x);
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = reduce_m61(mul_mod_m61(acc, xr) + coeffs_[i]);
+  }
+  return acc % range_;
+}
+
+}  // namespace pramsim::hashing

@@ -1,0 +1,43 @@
+// Universal hashing (Carter-Wegman) for the Mehlhorn-Vishkin probabilistic
+// baseline (the paper's §1/§2 context: MV 1984 showed granularity also
+// simplifies the *hash families* needed for probabilistic simulation).
+//
+// Family: h_{a,b}(x) = ((a*x + b) mod p) mod M with p = 2^61 - 1 (a
+// Mersenne prime, so the mod is two shifts and an add). Degree-k
+// polynomial variants provide k-wise independence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pramsim::hashing {
+
+/// Modular arithmetic over p = 2^61 - 1.
+inline constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// (a * b) mod (2^61 - 1) without overflow.
+[[nodiscard]] std::uint64_t mul_mod_m61(std::uint64_t a, std::uint64_t b);
+
+/// x mod (2^61 - 1), branch-light.
+[[nodiscard]] std::uint64_t reduce_m61(std::uint64_t x);
+
+/// A degree-(k-1) polynomial hash: k-wise independent over [0, p).
+class PolynomialHash {
+ public:
+  /// Sample coefficients uniformly; degree >= 1 (affine = 2-wise).
+  PolynomialHash(std::uint32_t k_wise, std::uint64_t range, util::Rng& rng);
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const;
+  [[nodiscard]] std::uint64_t range() const { return range_; }
+  [[nodiscard]] std::uint32_t independence() const {
+    return static_cast<std::uint32_t>(coeffs_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // degree+1 coefficients, a_deg != 0
+  std::uint64_t range_;
+};
+
+}  // namespace pramsim::hashing

@@ -1,0 +1,68 @@
+// Rabin information dispersal (the Schuster 1987 memory scheme's coding
+// substrate, as described in the paper's §1):
+//
+//   a block of b field elements is recoded into d >= b elements such that
+//   ANY b of the d recoded elements recover the block exactly.
+//
+// Encoding evaluates the degree-(b-1) polynomial whose coefficients are
+// the block at d distinct nonzero points alpha^0..alpha^(d-1); recovery is
+// Lagrange interpolation from any b (point, value) pairs. Storage grows by
+// the constant factor d/b while tolerating d-b erasures.
+//
+// P-RAM words are dispersed lane-wise: each of the 8 bytes of a 64-bit
+// word is an independent GF(256) stream, so a "share" is itself a word.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ida/gf256.hpp"
+#include "pram/types.hpp"
+
+namespace pramsim::ida {
+
+struct IdaParams {
+  std::uint32_t b = 4;  ///< block length (elements needed to recover)
+  std::uint32_t d = 8;  ///< shares produced (d - b erasures tolerated)
+};
+
+class Disperser {
+ public:
+  explicit Disperser(IdaParams params);
+
+  [[nodiscard]] std::uint32_t b() const { return params_.b; }
+  [[nodiscard]] std::uint32_t d() const { return params_.d; }
+  /// Storage expansion factor d/b (the paper's "constant factor").
+  [[nodiscard]] double storage_factor() const {
+    return static_cast<double>(params_.d) / params_.b;
+  }
+
+  // ---- byte-level primitives ----
+
+  /// Encode b bytes into d shares.
+  [[nodiscard]] std::vector<GF256::Elem> encode_bytes(
+      std::span<const GF256::Elem> block) const;
+
+  /// Recover the b block bytes from any b (share_index, value) pairs.
+  /// Indices must be distinct and < d.
+  [[nodiscard]] std::vector<GF256::Elem> recover_bytes(
+      std::span<const std::uint32_t> indices,
+      std::span<const GF256::Elem> values) const;
+
+  // ---- word-level (lane-wise) API used by the memory scheme ----
+
+  /// Encode b words into d share-words (8 independent byte lanes).
+  [[nodiscard]] std::vector<pram::Word> encode_words(
+      std::span<const pram::Word> block) const;
+
+  /// Recover b words from any b (share_index, share_word) pairs.
+  [[nodiscard]] std::vector<pram::Word> recover_words(
+      std::span<const std::uint32_t> indices,
+      std::span<const pram::Word> shares) const;
+
+ private:
+  IdaParams params_;
+};
+
+}  // namespace pramsim::ida

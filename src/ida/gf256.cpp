@@ -1,0 +1,34 @@
+#include "ida/gf256.hpp"
+
+namespace pramsim::ida {
+
+namespace {
+
+struct Tables {
+  std::array<GF256::Elem, 255> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  constexpr Tables() {
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < 255; ++i) {
+      exp[i] = static_cast<GF256::Elem>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11D;
+      }
+    }
+    log[0] = 0;  // unused sentinel
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+const std::array<GF256::Elem, 255>& GF256::exp_table() { return kTables.exp; }
+const std::array<std::uint8_t, 256>& GF256::log_table() {
+  return kTables.log;
+}
+
+}  // namespace pramsim::ida

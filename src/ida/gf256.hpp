@@ -1,0 +1,78 @@
+// GF(2^8) arithmetic for Rabin's information dispersal (Rabin 1989,
+// referenced by the paper as Schuster's alternative route to constant
+// storage redundancy).
+//
+// Field: GF(256) with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D); alpha = 2 is a generator. exp/log
+// tables are generated at compile time, so multiplication and division
+// are two table lookups — the hot operations of dispersal coding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace pramsim::ida {
+
+class GF256 {
+ public:
+  using Elem = std::uint8_t;
+
+  [[nodiscard]] static constexpr Elem add(Elem a, Elem b) {
+    return a ^ b;  // characteristic 2: addition == subtraction == xor
+  }
+  [[nodiscard]] static constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+  [[nodiscard]] static Elem mul(Elem a, Elem b) {
+    if (a == 0 || b == 0) {
+      return 0;
+    }
+    const std::uint32_t idx =
+        (static_cast<std::uint32_t>(log_table()[a]) + log_table()[b]) % 255u;
+    return exp_table()[idx];
+  }
+
+  [[nodiscard]] static Elem inv(Elem a) {
+    PRAMSIM_ASSERT_MSG(a != 0, "zero has no inverse in GF(256)");
+    const std::uint32_t idx =
+        (255u - static_cast<std::uint32_t>(log_table()[a])) % 255u;
+    return exp_table()[idx];
+  }
+
+  [[nodiscard]] static Elem div(Elem a, Elem b) {
+    PRAMSIM_ASSERT_MSG(b != 0, "division by zero in GF(256)");
+    if (a == 0) {
+      return 0;
+    }
+    const std::uint32_t idx =
+        (static_cast<std::uint32_t>(log_table()[a]) + 255u -
+         log_table()[b]) %
+        255u;
+    return exp_table()[idx];
+  }
+
+  [[nodiscard]] static Elem pow(Elem a, std::uint32_t e) {
+    if (e == 0) {
+      return 1;
+    }
+    if (a == 0) {
+      return 0;
+    }
+    return exp_table()[(static_cast<std::uint32_t>(log_table()[a]) * e) % 255];
+  }
+
+  /// alpha^i for i in [0, 255); alpha = 2 generates the multiplicative
+  /// group, so alpha^0..alpha^254 enumerate all nonzero elements.
+  [[nodiscard]] static Elem alpha_pow(std::uint32_t i) {
+    return exp_table()[i % 255];
+  }
+
+ private:
+  static constexpr std::uint32_t kPoly = 0x11D;
+
+  [[nodiscard]] static const std::array<Elem, 255>& exp_table();
+  [[nodiscard]] static const std::array<std::uint8_t, 256>& log_table();
+};
+
+}  // namespace pramsim::ida

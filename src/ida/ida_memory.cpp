@@ -1,0 +1,158 @@
+#include "ida/ida_memory.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::ida {
+
+IdaMemory::IdaMemory(std::uint64_t m_vars, IdaMemoryConfig config)
+    : m_vars_(m_vars),
+      config_(config),
+      disperser_({config.b, config.d}),
+      n_blocks_(util::ceil_div(m_vars, config.b)),
+      shares_(n_blocks_ * config.d, 0),
+      placement_(n_blocks_, config.n_modules, config.d, config.seed) {
+  PRAMSIM_ASSERT(config_.n_modules >= config_.d);
+  // Encode the all-zero initial state so decode is always well-defined.
+  const std::vector<pram::Word> zero_block(config_.b, 0);
+  const auto encoded = disperser_.encode_words(zero_block);
+  for (std::uint64_t blk = 0; blk < n_blocks_; ++blk) {
+    std::copy(encoded.begin(), encoded.end(),
+              shares_.begin() + static_cast<std::ptrdiff_t>(blk * config_.d));
+  }
+}
+
+std::vector<pram::Word> IdaMemory::decode_block(std::uint64_t block) const {
+  std::vector<std::uint32_t> indices(config_.b);
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<pram::Word> vals(config_.b);
+  for (std::uint32_t j = 0; j < config_.b; ++j) {
+    vals[j] = shares_[block * config_.d + j];
+  }
+  return disperser_.recover_words(indices, vals);
+}
+
+void IdaMemory::encode_block(std::uint64_t block,
+                             std::span<const pram::Word> values) {
+  const auto encoded = disperser_.encode_words(values);
+  std::copy(encoded.begin(), encoded.end(),
+            shares_.begin() + static_cast<std::ptrdiff_t>(block * config_.d));
+}
+
+pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
+                                  std::span<pram::Word> read_values,
+                                  std::span<const pram::VarWrite> writes) {
+  PRAMSIM_ASSERT(reads.size() == read_values.size());
+  pram::MemStepCost cost;
+  const std::uint64_t share_accesses_before = share_accesses_;
+
+  // ---- gather per-block work --------------------------------------
+  std::unordered_set<std::uint64_t> read_blocks;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> writes_by_block;
+  for (const auto var : reads) {
+    read_blocks.insert(block_of(var));
+  }
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    writes_by_block[block_of(writes[i].var)].push_back(i);
+  }
+
+  // Module round accounting: modules serve one share per round, so a
+  // phase's duration is its maximum per-module share count.
+  std::vector<std::uint32_t> module_load(config_.n_modules, 0);
+  std::vector<ModuleId> copy_buf(config_.d);
+  auto charge_read_block = [&](std::uint64_t blk) {
+    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)), copy_buf);
+    // Pick the b least-loaded modules among the d holding shares — the
+    // d-b slack is what lets the scheme dodge congestion.
+    std::vector<std::uint32_t> order(config_.d);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b2) {
+                       return module_load[copy_buf[a].index()] <
+                              module_load[copy_buf[b2].index()];
+                     });
+    for (std::uint32_t j = 0; j < config_.b; ++j) {
+      ++module_load[copy_buf[order[j]].index()];
+    }
+    share_accesses_ += config_.b;
+    vars_processed_ += config_.b;
+  };
+  auto charge_write_block = [&](std::uint64_t blk) {
+    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)), copy_buf);
+    for (std::uint32_t j = 0; j < config_.d; ++j) {
+      ++module_load[copy_buf[j].index()];
+    }
+    share_accesses_ += config_.d;
+    vars_processed_ += config_.b;
+  };
+
+  // ---- phase 1: reads (pre-step state) -----------------------------
+  for (const auto blk : read_blocks) {
+    charge_read_block(blk);
+  }
+  std::unordered_map<std::uint64_t, std::vector<pram::Word>> decoded;
+  for (const auto blk : read_blocks) {
+    decoded.emplace(blk, decode_block(blk));
+  }
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto blk = block_of(reads[i]);
+    read_values[i] = decoded.at(blk)[reads[i].index() % config_.b];
+    ++vars_accessed_;
+  }
+  const std::uint32_t read_rounds =
+      module_load.empty() ? 0
+                          : *std::max_element(module_load.begin(),
+                                              module_load.end());
+
+  // ---- phase 2: writes (read-modify-write per block) ---------------
+  std::fill(module_load.begin(), module_load.end(), 0);
+  for (const auto& [blk, idxs] : writes_by_block) {
+    // The block must be fetched (b shares) unless this step already read
+    // it, then re-encoded and fully rewritten (d shares).
+    if (read_blocks.find(blk) == read_blocks.end()) {
+      charge_read_block(blk);
+      decoded.emplace(blk, decode_block(blk));
+    }
+    charge_write_block(blk);
+    auto block_vals = decoded.at(blk);
+    for (const auto i : idxs) {
+      block_vals[writes[i].var.index() % config_.b] = writes[i].value;
+      ++vars_accessed_;
+    }
+    encode_block(blk, block_vals);
+  }
+  const std::uint32_t write_rounds =
+      module_load.empty() ? 0
+                          : *std::max_element(module_load.begin(),
+                                              module_load.end());
+
+  cost.time = read_rounds + write_rounds;
+  cost.work = share_accesses_ - share_accesses_before;
+  return cost;
+}
+
+pram::Word IdaMemory::peek(VarId var) const {
+  PRAMSIM_ASSERT(var.index() < m_vars_);
+  return decode_block(block_of(var))[var.index() % config_.b];
+}
+
+void IdaMemory::poke(VarId var, pram::Word value) {
+  PRAMSIM_ASSERT(var.index() < m_vars_);
+  const auto blk = block_of(var);
+  auto vals = decode_block(blk);
+  vals[var.index() % config_.b] = value;
+  encode_block(blk, vals);
+}
+
+double IdaMemory::work_amplification() const {
+  return vars_accessed_ > 0 ? static_cast<double>(vars_processed_) /
+                                  static_cast<double>(vars_accessed_)
+                            : 0.0;
+}
+
+}  // namespace pramsim::ida

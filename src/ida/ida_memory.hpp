@@ -1,0 +1,79 @@
+// IdaMemory: the Schuster (1987) shared-memory organization the paper
+// contrasts with its own (§1): the m variables are grouped into m/b
+// blocks; each block is recoded into d = Theta(b) shares stored on d
+// distinct modules. Storage grows by the constant factor d/b — like the
+// paper's scheme, constant redundancy — but every access must decode a
+// whole block, so Theta(b) = Theta(log n) variables are *processed* per
+// variable accessed. The bench contrasts exactly this trade.
+//
+// Cost model: modules serve one share per round. Reads fetch the b shares
+// of the block whose modules are least loaded this step (the slack d - b
+// is the scheme's congestion-dodging trick); writes are read-modify-write
+// and must update all d shares. Reads of a step are served first (they
+// see pre-step state), then writes commit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ida/dispersal.hpp"
+#include "memmap/memory_map.hpp"
+#include "pram/memory_system.hpp"
+#include "util/stats.hpp"
+
+namespace pramsim::ida {
+
+struct IdaMemoryConfig {
+  std::uint32_t b = 4;          ///< block size (variables per block)
+  std::uint32_t d = 8;          ///< shares per block
+  std::uint32_t n_modules = 64; ///< modules shares are spread over (>= d)
+  std::uint64_t seed = 1;       ///< share-placement seed
+};
+
+class IdaMemory final : public pram::MemorySystem {
+ public:
+  IdaMemory(std::uint64_t m_vars, IdaMemoryConfig config);
+
+  pram::MemStepCost step(std::span<const VarId> reads,
+                         std::span<pram::Word> read_values,
+                         std::span<const pram::VarWrite> writes) override;
+
+  [[nodiscard]] std::uint64_t size() const override { return m_vars_; }
+  [[nodiscard]] pram::Word peek(VarId var) const override;
+  void poke(VarId var, pram::Word value) override;
+
+  // ----- scheme accounting -----
+  [[nodiscard]] double storage_factor() const {
+    return disperser_.storage_factor();
+  }
+  [[nodiscard]] std::uint32_t block_size() const { return config_.b; }
+  [[nodiscard]] std::uint64_t num_blocks() const { return n_blocks_; }
+  /// Variables processed (decoded) per variable accessed so far.
+  [[nodiscard]] double work_amplification() const;
+  [[nodiscard]] std::uint64_t share_accesses() const {
+    return share_accesses_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t block_of(VarId var) const {
+    return var.index() / config_.b;
+  }
+  /// Decode a block from its stored shares (verification path).
+  [[nodiscard]] std::vector<pram::Word> decode_block(std::uint64_t block) const;
+  void encode_block(std::uint64_t block, std::span<const pram::Word> values);
+
+  std::uint64_t m_vars_;
+  IdaMemoryConfig config_;
+  Disperser disperser_;
+  std::uint64_t n_blocks_;
+  /// Share storage: block-major, d share-words per block.
+  std::vector<pram::Word> shares_;
+  /// Placement of each block's d shares over the modules.
+  memmap::HashedMap placement_;
+  std::uint64_t share_accesses_ = 0;
+  std::uint64_t vars_accessed_ = 0;
+  std::uint64_t vars_processed_ = 0;
+};
+
+}  // namespace pramsim::ida

@@ -1,0 +1,38 @@
+#include "majority/copy_store.hpp"
+
+namespace pramsim::majority {
+
+CopyStore::CopyStore(std::uint64_t m_vars, std::uint32_t redundancy)
+    : m_vars_(m_vars), r_(redundancy), copies_(m_vars * redundancy) {
+  PRAMSIM_ASSERT(m_vars >= 1);
+  PRAMSIM_ASSERT(redundancy >= 1 && redundancy <= 64);
+}
+
+Copy CopyStore::freshest(VarId var, std::uint64_t mask) const {
+  PRAMSIM_ASSERT(mask != 0);
+  Copy best;
+  bool found = false;
+  for (std::uint32_t i = 0; i < r_; ++i) {
+    if ((mask >> i) & 1ULL) {
+      const Copy& candidate = at(var, i);
+      if (!found || candidate.stamp > best.stamp) {
+        best = candidate;
+        found = true;
+      }
+    }
+  }
+  PRAMSIM_ASSERT(found);
+  return best;
+}
+
+Copy CopyStore::ground_truth(VarId var) const {
+  return freshest(var, r_ >= 64 ? ~0ULL : ((1ULL << r_) - 1));
+}
+
+void CopyStore::corrupt(VarId var, std::uint32_t copy,
+                        pram::Word bogus_value) {
+  PRAMSIM_ASSERT(var.index() < m_vars_ && copy < r_);
+  copies_[var.index() * r_ + copy].value = bogus_value;
+}
+
+}  // namespace pramsim::majority

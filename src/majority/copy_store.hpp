@@ -1,0 +1,64 @@
+// Timestamped copy storage for the majority-rule scheme (Upfal-Wigderson
+// 1987, reviewed in the paper's §1).
+//
+// Each variable owns r = 2c-1 copies; each copy carries the value and the
+// P-RAM step number of its last update. Reads retrieve >= c copies and
+// take the freshest; writes stamp >= c copies. Because any two c-subsets
+// of 2c-1 copies intersect, the freshest copy in any read set carries the
+// latest committed write.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/types.hpp"
+#include "util/assert.hpp"
+#include "util/strong_id.hpp"
+
+namespace pramsim::majority {
+
+struct Copy {
+  pram::Word value = 0;
+  std::uint64_t stamp = 0;  ///< step number of last write (0 = initial)
+};
+
+/// Dense (variable, copy-index) -> Copy storage. Sized m*r; intended for
+/// correctness runs and end-to-end program execution (the large-scale
+/// benches use the round scheduler alone, which needs no storage).
+class CopyStore {
+ public:
+  CopyStore(std::uint64_t m_vars, std::uint32_t redundancy);
+
+  [[nodiscard]] std::uint64_t num_vars() const { return m_vars_; }
+  [[nodiscard]] std::uint32_t redundancy() const { return r_; }
+
+  [[nodiscard]] const Copy& at(VarId var, std::uint32_t copy) const {
+    PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
+    return copies_[var.index() * r_ + copy];
+  }
+
+  void write(VarId var, std::uint32_t copy, pram::Word value,
+             std::uint64_t stamp) {
+    PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
+    copies_[var.index() * r_ + copy] = Copy{value, stamp};
+  }
+
+  /// The freshest value among the copies selected by `mask` (bit i =>
+  /// copy i participates). Requires a non-empty mask.
+  [[nodiscard]] Copy freshest(VarId var, std::uint64_t mask) const;
+
+  /// The globally freshest copy (over all r copies) — the ground truth a
+  /// correct majority read must match. Verification only.
+  [[nodiscard]] Copy ground_truth(VarId var) const;
+
+  /// Failure injection (tests): overwrite a copy's value *without*
+  /// advancing its stamp, emulating a stale/corrupted replica.
+  void corrupt(VarId var, std::uint32_t copy, pram::Word bogus_value);
+
+ private:
+  std::uint64_t m_vars_;
+  std::uint32_t r_;
+  std::vector<Copy> copies_;
+};
+
+}  // namespace pramsim::majority

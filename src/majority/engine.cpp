@@ -1,0 +1,31 @@
+#include "majority/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace pramsim::majority {
+
+DmmpcEngine::DmmpcEngine(std::shared_ptr<const memmap::MemoryMap> map,
+                         SchedulerConfig config)
+    : map_(std::move(map)), config_(config) {
+  PRAMSIM_ASSERT(map_ != nullptr);
+  PRAMSIM_ASSERT(map_->redundancy() == 2 * config_.c - 1);
+}
+
+EngineResult DmmpcEngine::run_step(std::span<const VarRequest> requests) {
+  const ScheduleResult schedule = schedule_step(*map_, requests, config_);
+  EngineResult result;
+  result.time = schedule.rounds;
+  result.work = schedule.total_copy_accesses;
+  result.accessed_mask = schedule.accessed_mask;
+  result.stats.phases = schedule.rounds;
+  result.stats.stage1_phases = schedule.stage1_rounds;
+  result.stats.stage2_phases = schedule.stage2_rounds;
+  result.stats.live_after_stage1 = schedule.live_after_stage1;
+  result.stats.max_queue = schedule.max_module_queue;
+  result.stats.live_per_phase = schedule.live_per_round;
+  return result;
+}
+
+}  // namespace pramsim::majority

@@ -1,0 +1,101 @@
+#include "majority/majority_memory.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pramsim::majority {
+
+namespace {
+std::uint32_t infer_processors(const AccessEngine& engine) {
+  if (const auto* dmmpc = dynamic_cast<const DmmpcEngine*>(&engine)) {
+    return std::max<std::uint32_t>(dmmpc->config().n_processors, 1);
+  }
+  return 1;  // engines that serialize injection handle this themselves
+}
+}  // namespace
+
+MajorityMemory::MajorityMemory(std::unique_ptr<AccessEngine> engine)
+    : engine_(std::move(engine)),
+      store_(engine_->map().num_vars(), engine_->map().redundancy()),
+      n_processors_(infer_processors(*engine_)) {
+  PRAMSIM_ASSERT(engine_ != nullptr);
+  PRAMSIM_ASSERT_MSG(engine_->map().redundancy() % 2 == 1,
+                     "majority rule requires odd r = 2c-1");
+}
+
+MajorityMemory::MajorityMemory(std::shared_ptr<const memmap::MemoryMap> map,
+                               SchedulerConfig scheduler)
+    : MajorityMemory(
+          std::make_unique<DmmpcEngine>(std::move(map), scheduler)) {}
+
+pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
+                                       std::span<pram::Word> read_values,
+                                       std::span<const pram::VarWrite> writes) {
+  PRAMSIM_ASSERT(reads.size() == read_values.size());
+  ++stamp_;
+
+  // Union of accessed variables: one protocol request per distinct var.
+  // A variable that is both read and written this step is accessed once;
+  // the accessed copy set serves the read (pre-step value) and then takes
+  // the write.
+  std::vector<VarRequest> requests;
+  requests.reserve(reads.size() + writes.size());
+  std::vector<std::size_t> read_req(reads.size());
+  std::vector<std::size_t> write_req(writes.size());
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  std::uint32_t next_proc = 0;
+  auto request_for = [&](VarId var) {
+    auto [it, fresh] = index.try_emplace(var.value(), requests.size());
+    if (fresh) {
+      requests.push_back({var, ProcId(next_proc % n_processors_)});
+      ++next_proc;
+    }
+    return it->second;
+  };
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    read_req[i] = request_for(reads[i]);
+  }
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    write_req[i] = request_for(writes[i].var);
+  }
+
+  const EngineResult result = engine_->run_step(requests);
+  time_stats_.add(static_cast<double>(result.time));
+  last_stats_ = result.stats;
+
+  // Reads first: freshest stamp among the >= c accessed copies.
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    read_values[i] =
+        store_.freshest(reads[i], result.accessed_mask[read_req[i]]).value;
+  }
+  // Then writes: stamp the accessed copies with this step's number.
+  const std::uint32_t r = engine_->map().redundancy();
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    const std::uint64_t mask = result.accessed_mask[write_req[i]];
+    for (std::uint32_t copy = 0; copy < r; ++copy) {
+      if ((mask >> copy) & 1ULL) {
+        store_.write(writes[i].var, copy, writes[i].value, stamp_);
+      }
+    }
+  }
+
+  return pram::MemStepCost{.time = result.time, .work = result.work};
+}
+
+pram::Word MajorityMemory::peek(VarId var) const {
+  return store_.ground_truth(var).value;
+}
+
+void MajorityMemory::poke(VarId var, pram::Word value) {
+  // Out-of-band initialization: set every copy so the poke is the ground
+  // truth regardless of which copies later reads access.
+  for (std::uint32_t copy = 0; copy < engine_->map().redundancy(); ++copy) {
+    store_.write(var, copy, value, stamp_);
+  }
+}
+
+}  // namespace pramsim::majority

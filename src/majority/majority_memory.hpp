@@ -1,0 +1,68 @@
+// MajorityMemory: the complete replicated shared-memory organization —
+// memory map + timestamped copies + an access engine — packaged as a
+// pram::MemorySystem so a real P-RAM program can execute on top of it.
+//
+// Instantiations:
+//  * DmmpcEngine + Lemma 2 map over M = n^(1+eps)    -> Theorem 2 machine
+//  * DmmpcEngine + UW map over M = n                 -> UW'87 MPC baseline
+//  * core::MotEngine + Lemma 2 map, modules at 2DMOT
+//    leaves                                          -> Theorem 3 machine
+//  * core::MotEngine + UW map, modules at roots      -> LPP'90 baseline
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "majority/copy_store.hpp"
+#include "majority/engine.hpp"
+#include "majority/scheduler.hpp"
+#include "memmap/memory_map.hpp"
+#include "pram/memory_system.hpp"
+#include "util/stats.hpp"
+
+namespace pramsim::majority {
+
+class MajorityMemory final : public pram::MemorySystem {
+ public:
+  /// Generic form: any access engine over a 2c-1-redundancy map.
+  explicit MajorityMemory(std::unique_ptr<AccessEngine> engine);
+
+  /// Convenience: DMMPC engine with the given scheduler parameters.
+  MajorityMemory(std::shared_ptr<const memmap::MemoryMap> map,
+                 SchedulerConfig scheduler);
+
+  pram::MemStepCost step(std::span<const VarId> reads,
+                         std::span<pram::Word> read_values,
+                         std::span<const pram::VarWrite> writes) override;
+
+  [[nodiscard]] std::uint64_t size() const override {
+    return engine_->map().num_vars();
+  }
+  [[nodiscard]] pram::Word peek(VarId var) const override;
+  void poke(VarId var, pram::Word value) override;
+
+  // ----- introspection for tests / benches -----
+  [[nodiscard]] const CopyStore& store() const { return store_; }
+  [[nodiscard]] CopyStore& mutable_store() { return store_; }
+  [[nodiscard]] const memmap::MemoryMap& map() const {
+    return engine_->map();
+  }
+  [[nodiscard]] std::uint64_t steps_served() const { return stamp_; }
+  /// Distribution of per-step time (rounds/cycles) so far.
+  [[nodiscard]] const util::RunningStats& time_stats() const {
+    return time_stats_;
+  }
+  [[nodiscard]] const ProtocolStats& last_stats() const {
+    return last_stats_;
+  }
+
+ private:
+  std::unique_ptr<AccessEngine> engine_;
+  CopyStore store_;
+  std::uint64_t stamp_ = 0;  ///< current P-RAM step number (timestamps)
+  std::uint32_t n_processors_;
+  util::RunningStats time_stats_;
+  ProtocolStats last_stats_;
+};
+
+}  // namespace pramsim::majority

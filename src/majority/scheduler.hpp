@@ -1,0 +1,80 @@
+// Round scheduler for the majority protocol on module-contention machines
+// (MPC / DMMPC: unit module bandwidth, free interconnect).
+//
+// This is the access-scheduling core of Upfal-Wigderson as organized by
+// Luccio-Pietracaprina-Pucci and adopted in the paper (§1, §3):
+//
+//   * processors are grouped into clusters of 2c-1;
+//   * STAGE 1 interleaves the cluster's (up to) 2c-1 member variables over
+//     phases, staggered across clusters: in phase t, cluster k works on
+//     member (t + k) mod (2c-1), all cluster processors probing the
+//     variable's still-unaccessed copies at once;
+//   * a variable is live until c of its copies have been accessed, then
+//     dead (it stops contending — the key idea);
+//   * STAGE 2 drains the leftover live variables, one per cluster,
+//     repeating phases until none remain.
+//
+// Each phase is one machine round: every module serves at most one copy
+// access (deterministic tie-break). The returned round count *is* the
+// DMMPC simulation time of the step (Theorem 2's measurable); the 2DMOT
+// simulators in src/core reuse this scheduler's phase structure but charge
+// network cycles per phase instead.
+//
+// Per DESIGN.md, phase bookkeeping (which variables are live, stage
+// transitions) is computed centrally; the cost model charges only the
+// module-bandwidth-limited copy accesses, which is what the theorems
+// count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "memmap/memory_map.hpp"
+#include "util/stats.hpp"
+#include "util/strong_id.hpp"
+
+namespace pramsim::majority {
+
+struct VarRequest {
+  VarId var;
+  ProcId requester;
+};
+
+struct SchedulerConfig {
+  std::uint32_t c = 2;             ///< access threshold (r = 2c-1 expected)
+  std::uint32_t cluster_size = 3;  ///< processors per cluster (usually r)
+  std::uint32_t n_processors = 1;  ///< n
+  /// Stage-1 interleaved turns given to each cluster member before the
+  /// stage-2 drain begins (LPP use O(log log n); 2 suffices empirically
+  /// and stage 2 mops up stragglers either way).
+  std::uint32_t stage1_turns = 2;
+  /// Ablation: no clusters — every live variable probes all unaccessed
+  /// copies every round (maximal-parallelism upper bound).
+  bool all_at_once = false;
+};
+
+struct ScheduleResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t stage1_rounds = 0;
+  std::uint64_t stage2_rounds = 0;
+  std::uint64_t total_copy_accesses = 0;  ///< work (served probes)
+  std::uint64_t live_after_stage1 = 0;
+  std::uint64_t max_module_queue = 0;  ///< peak probes at one module/round
+  /// Per request: bitmask of which copy indices were accessed (>= c bits
+  /// set for every request on return).
+  std::vector<std::uint64_t> accessed_mask;
+  /// Live-variable count after each round — the decay curve whose
+  /// geometric shape is the content of the Upfal-Wigderson progress
+  /// argument (driven by the Lemma 2 expansion).
+  std::vector<std::uint64_t> live_per_round;
+};
+
+/// Schedule one P-RAM step's worth of distinct-variable requests.
+/// Precondition: requests hold distinct variables (combining already done)
+/// and map.redundancy() <= 64.
+[[nodiscard]] ScheduleResult schedule_step(const memmap::MemoryMap& map,
+                                           std::span<const VarRequest> requests,
+                                           const SchedulerConfig& config);
+
+}  // namespace pramsim::majority

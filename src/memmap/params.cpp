@@ -1,0 +1,116 @@
+#include "memmap/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::memmap {
+
+std::uint32_t lemma2_min_c(double b, double k, double eps) {
+  PRAMSIM_ASSERT(b > 2.0);
+  PRAMSIM_ASSERT(k >= 1.0);
+  PRAMSIM_ASSERT(eps > 0.0);
+  const double bound1 = (b * k - eps) / (eps * (b - 2.0));
+  const double bound2 = (b - 1.0) / (b - 2.0);
+  const double bound = std::max(bound1, bound2);
+  // Strict inequality: smallest integer strictly greater than the bound.
+  const double floor_b = std::floor(bound);
+  const auto c = static_cast<std::uint32_t>(
+      bound == floor_b ? floor_b + 1.0 : std::ceil(bound));
+  return std::max<std::uint32_t>(c, 2);
+}
+
+std::uint32_t lemma2_redundancy(double b, double k, double eps) {
+  return 2 * lemma2_min_c(b, k, eps) - 1;
+}
+
+std::uint32_t uw_c(std::uint64_t m_vars, double b) {
+  PRAMSIM_ASSERT(b > 1.0);
+  PRAMSIM_ASSERT(m_vars >= 1);
+  const double c = std::log2(static_cast<double>(m_vars)) / std::log2(b);
+  return std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::ceil(c)));
+}
+
+std::uint32_t uw_redundancy(std::uint64_t m_vars, double b) {
+  return 2 * uw_c(m_vars, b) - 1;
+}
+
+std::uint32_t theorem1_min_p(double n, double M, double m, double h) {
+  PRAMSIM_ASSERT(h >= 1.0);
+  PRAMSIM_ASSERT(n / h >= 2.0);
+  PRAMSIM_ASSERT(M >= 2.0 && m >= n);
+  const double Q = n / h - 1.0;  // size of the module sets in S
+  const double rhs = std::log2(n - 1.0) + util::log2_binomial(M, Q);
+  for (std::uint32_t p = 0; p <= static_cast<std::uint32_t>(Q / 2.0) + 1;
+       ++p) {
+    const double pd = p;
+    const double lhs = std::log2(m / 2.0) +
+                       util::log2_binomial(M - 2.0 * pd, Q - 2.0 * pd);
+    if (lhs <= rhs) {
+      return p;
+    }
+  }
+  // Unreachable for well-formed inputs: at 2p > Q the binomial is zero.
+  return static_cast<std::uint32_t>(Q / 2.0) + 1;
+}
+
+double theorem1_closed_form(double n, double k, double eps, double h) {
+  PRAMSIM_ASSERT(n >= 2.0 && k >= 1.0 && h >= 1.0);
+  const double logn = std::log2(n);
+  const double denom = eps * logn + std::log2(h);
+  PRAMSIM_ASSERT(denom > 0.0);
+  return (k - 1.0) * logn / denom;
+}
+
+double bad_map_log2_union_bound(double n, double m, double M, std::uint32_t c,
+                                double b) {
+  PRAMSIM_ASSERT(b > 2.0 && c >= 2);
+  const double r = 2.0 * c - 1.0;
+  const auto q_max = static_cast<std::uint64_t>(n / r);
+  constexpr double kLog2e = 1.4426950408889634;
+  double ln_total = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t q = 1; q <= q_max; ++q) {
+    const double qd = static_cast<double>(q);
+    const double s = std::ceil(r * qd / b);
+    if (s >= M) {
+      // The expansion requirement would exceed the module count; such q
+      // cannot produce a bad event under the union-bound model.
+      continue;
+    }
+    const double ln_term =
+        (util::log2_binomial(m, qd) + qd * util::log2_binomial(r, c) +
+         util::log2_binomial(M, s) + c * qd * std::log2(s / M)) /
+        kLog2e;
+    ln_total = util::ln_add_exp(ln_total, ln_term);
+  }
+  return ln_total * kLog2e;
+}
+
+DerivedParams derive_params(std::uint32_t n, double k, double eps, double b) {
+  PRAMSIM_ASSERT(n >= 2);
+  DerivedParams p;
+  p.n = n;
+  p.k = k;
+  p.eps = eps;
+  p.b = b;
+  const double nd = n;
+  p.m = static_cast<std::uint64_t>(std::llround(std::pow(nd, k)));
+  p.c = lemma2_min_c(b, k, eps);
+  p.r = 2 * p.c - 1;
+  p.cluster = p.r;
+  const double m_modules = std::pow(nd, 1.0 + eps);
+  const auto max_modules =
+      static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+  double modules = std::min(m_modules, max_modules);
+  modules = std::min(modules, static_cast<double>(p.m));  // M <= m
+  modules = std::max(modules, static_cast<double>(p.r));  // M >= r
+  p.n_modules = static_cast<std::uint32_t>(std::llround(modules));
+  p.granularity = static_cast<double>(p.r) * static_cast<double>(p.m) /
+                  static_cast<double>(p.n_modules);
+  return p;
+}
+
+}  // namespace pramsim::memmap

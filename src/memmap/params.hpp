@@ -1,0 +1,73 @@
+// Parameter calculus for the paper's bounds.
+//
+//  * Lemma 2 threshold:  c > max( (b*k - eps) / (eps*(b-2)), (b-1)/(b-2) )
+//    gives a constant-redundancy map for M = n^(1+eps), m = n^k, b > 2.
+//  * Lemma 1 (Upfal-Wigderson): c = Theta(log m / log b) for M = n modules
+//    (the MPC baseline's logarithmic redundancy).
+//  * Theorem 1: the redundancy lower bound, solved numerically from the
+//    proof's counting inequality rather than quoted asymptotically.
+//  * The bad-map union bound from the Lemma 2 proof, evaluated in log
+//    space, quantifying that seeded-random maps are almost surely good.
+#pragma once
+
+#include <cstdint>
+
+namespace pramsim::memmap {
+
+/// Smallest integer c satisfying the Lemma 2 constraint for expansion
+/// parameter b > 2, memory exponent k >= 1 (m = n^k) and granularity
+/// exponent eps > 0 (M = n^(1+eps)). The returned c is a *constant*:
+/// it does not depend on n — the paper's headline.
+[[nodiscard]] std::uint32_t lemma2_min_c(double b, double k, double eps);
+
+/// Redundancy r = 2c - 1 for the Lemma 2 scheme.
+[[nodiscard]] std::uint32_t lemma2_redundancy(double b, double k, double eps);
+
+/// Upfal-Wigderson Lemma 1 parameter for the MPC baseline:
+/// c = max(2, ceil(log_b m)) so r = 2c-1 = Theta(log m / log b).
+[[nodiscard]] std::uint32_t uw_c(std::uint64_t m_vars, double b);
+[[nodiscard]] std::uint32_t uw_redundancy(std::uint64_t m_vars, double b);
+
+/// Theorem 1, solved exactly: the smallest average copy count p for which
+/// the proof's counting inequality
+///     (m/2) * C(M-2p, Q-2p)  <=  (n-1) * C(M, Q),   Q = n/h - 1
+/// admits a solution; any scheme simulating a step in time h must have
+/// redundancy r >= p. Evaluated in log space (the binomials overflow
+/// doubles for interesting sizes). Returns 0 if even p = 0 satisfies it
+/// (no useful bound), and asserts h >= 1, n/h >= 2.
+[[nodiscard]] std::uint32_t theorem1_min_p(double n, double M, double m,
+                                           double h);
+
+/// The paper's closed-form shape for the same bound:
+/// (k-1) log n / (eps log n + log h)  [base-2 logs].
+[[nodiscard]] double theorem1_closed_form(double n, double k, double eps,
+                                          double h);
+
+/// log2 of the Lemma 2 proof's union bound on the fraction of bad maps:
+/// sum over q = 1 .. n/(2c-1) of
+///   C(m,q) * C(2c-1,c)^q * C(M,s) * (s/M)^(c*q),  s = ceil((2c-1)q/b).
+/// A strongly negative return value means almost every random map has the
+/// expansion property; >= 0 means the bound is vacuous at these parameters.
+[[nodiscard]] double bad_map_log2_union_bound(double n, double m, double M,
+                                              std::uint32_t c, double b);
+
+/// Bundle of derived scheme parameters for a given machine size.
+struct DerivedParams {
+  std::uint32_t n = 0;        ///< processors
+  double k = 2.0;             ///< m = n^k
+  double eps = 1.0;           ///< M = n^(1+eps)
+  double b = 4.0;             ///< Lemma 2 expansion parameter
+  std::uint64_t m = 0;        ///< shared variables
+  std::uint32_t n_modules = 0;  ///< M
+  std::uint32_t c = 0;        ///< Lemma 2 access threshold
+  std::uint32_t r = 0;        ///< redundancy 2c-1
+  std::uint32_t cluster = 0;  ///< protocol cluster size (= r)
+  double granularity = 0.0;   ///< g = r*m/M cells per module
+};
+
+/// Compute m, M, c, r for (n, k, eps, b). Clamps M into [r, m] so tiny
+/// configurations stay well-formed.
+[[nodiscard]] DerivedParams derive_params(std::uint32_t n, double k,
+                                          double eps, double b);
+
+}  // namespace pramsim::memmap

@@ -1,0 +1,85 @@
+#include "models/machine_models.hpp"
+
+#include "util/assert.hpp"
+
+namespace pramsim::models {
+
+const char* to_string(MachineModel model) {
+  switch (model) {
+    case MachineModel::kPram: return "P-RAM";
+    case MachineModel::kMpc: return "MPC";
+    case MachineModel::kBdn: return "BDN";
+    case MachineModel::kDmmpc: return "DMMPC";
+    case MachineModel::kDmbdn: return "DMBDN";
+  }
+  return "???";
+}
+
+ModelSummary describe(MachineModel model, std::uint64_t n, std::uint64_t m,
+                      std::uint64_t M, std::uint32_t degree) {
+  PRAMSIM_ASSERT(n >= 1 && m >= 1);
+  ModelSummary s;
+  s.model = model;
+  s.processors = n;
+  switch (model) {
+    case MachineModel::kPram:
+      s.memory_modules = 1;  // one idealized shared memory
+      s.module_cells = static_cast<double>(m);
+      s.interconnect_edges = n;  // every processor wired to the memory
+      s.max_fanin = n;           // the memory port has fan-in n
+      s.bounded_degree = false;
+      s.note = "ideal; O(1) shared access is not realizable";
+      break;
+    case MachineModel::kMpc:
+      s.memory_modules = n;
+      s.module_cells = static_cast<double>(m) / static_cast<double>(n);
+      s.interconnect_edges = n * (n - 1) / 2;  // complete graph K_n
+      s.max_fanin = n - 1;
+      s.bounded_degree = false;
+      s.note = "complete graph needs unbounded fan-in/out";
+      break;
+    case MachineModel::kBdn:
+      s.memory_modules = n;
+      s.module_cells = static_cast<double>(m) / static_cast<double>(n);
+      s.interconnect_edges = static_cast<std::uint64_t>(degree) * n / 2;
+      s.max_fanin = degree;
+      s.bounded_degree = true;
+      s.note = "realizable; granularity fixed at m/n";
+      break;
+    case MachineModel::kDmmpc:
+      PRAMSIM_ASSERT(M >= 1);
+      s.memory_modules = M;
+      s.module_cells = static_cast<double>(m) / static_cast<double>(M);
+      s.interconnect_edges = n * M;  // complete bipartite K_{n,M}
+      s.max_fanin = M > n ? M : n;
+      s.bounded_degree = false;
+      s.note = "granularity freed; bipartite graph still unbounded";
+      break;
+    case MachineModel::kDmbdn:
+      PRAMSIM_ASSERT(M >= 1);
+      s.memory_modules = M;
+      s.module_cells = static_cast<double>(m) / static_cast<double>(M);
+      // The 2DMOT realization: O(M) switches, each of degree <= 4, and
+      // links proportional to switches.
+      s.switches = 2 * M;
+      s.interconnect_edges = 4 * M;
+      s.max_fanin = degree;
+      s.bounded_degree = true;
+      s.note = "realizable with O(M) switches (2DMOT, Fig. 8)";
+      break;
+  }
+  return s;
+}
+
+std::vector<ModelSummary> describe_all(std::uint64_t n, std::uint64_t m,
+                                       std::uint64_t M) {
+  return {
+      describe(MachineModel::kPram, n, m),
+      describe(MachineModel::kMpc, n, m),
+      describe(MachineModel::kBdn, n, m),
+      describe(MachineModel::kDmmpc, n, m, M),
+      describe(MachineModel::kDmbdn, n, m, M),
+  };
+}
+
+}  // namespace pramsim::models

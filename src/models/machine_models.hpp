@@ -1,0 +1,49 @@
+// Descriptors for the five machine models the paper draws (Figs. 1-3, 5,
+// 6): the P-RAM itself, the MPC, the BDN, and the paper's DMMPC and
+// DMBDN. Each descriptor reports the structural quantities the figures
+// depict — processors, memory modules, module size, interconnect edges,
+// maximum fan-in/out — and whether the model is *realizable* with bounded
+// fan-in hardware, which is the axis the paper's argument moves along.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pramsim::models {
+
+enum class MachineModel : std::uint8_t {
+  kPram,    ///< Fig. 1: shared memory, O(1) access — the ideal
+  kMpc,     ///< Fig. 2: n processors+modules, complete graph K_n
+  kBdn,     ///< Fig. 3: n processors+modules, bounded-degree network
+  kDmmpc,   ///< Fig. 5: n processors, M modules, complete bipartite K_{n,M}
+  kDmbdn,   ///< Fig. 6: n processors, M modules, bounded-degree + switches
+};
+
+[[nodiscard]] const char* to_string(MachineModel model);
+
+struct ModelSummary {
+  MachineModel model{};
+  std::uint64_t processors = 0;
+  std::uint64_t memory_modules = 0;
+  double module_cells = 0.0;        ///< g: cells per module
+  std::uint64_t interconnect_edges = 0;
+  std::uint64_t switches = 0;       ///< extra non-computing nodes
+  std::uint64_t max_fanin = 0;      ///< worst node degree implied
+  bool bounded_degree = false;      ///< realizable with O(1) fan-in?
+  std::string note;
+};
+
+/// Structural summary of each model at (n, m) — for the DMMPC/DMBDN, M
+/// memory modules (the granularity knob); `degree` is the BDN/DMBDN
+/// node-degree budget.
+[[nodiscard]] ModelSummary describe(MachineModel model, std::uint64_t n,
+                                    std::uint64_t m, std::uint64_t M = 0,
+                                    std::uint32_t degree = 4);
+
+/// All five models in figure order.
+[[nodiscard]] std::vector<ModelSummary> describe_all(std::uint64_t n,
+                                                     std::uint64_t m,
+                                                     std::uint64_t M);
+
+}  // namespace pramsim::models

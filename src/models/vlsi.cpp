@@ -1,0 +1,69 @@
+#include "models/vlsi.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::models {
+
+double mot_layout_area(std::uint64_t side, double leaf_area,
+                       const VlsiParams& params) {
+  PRAMSIM_ASSERT(side >= 1);
+  PRAMSIM_ASSERT(leaf_area >= 0.0);
+  const double logn =
+      side >= 2 ? std::log2(static_cast<double>(side)) : 1.0;
+  // Each leaf column/row carries Theta(log N) wire tracks for the tree
+  // levels above it plus the leaf cell itself.
+  const double pitch = std::sqrt(leaf_area) + params.wire_pitch * logn;
+  const double extent = static_cast<double>(side) * pitch;
+  return extent * extent;
+}
+
+double module_area(double g_words, std::uint64_t n_modules,
+                   const VlsiParams& params) {
+  PRAMSIM_ASSERT(g_words >= 0.0 && n_modules >= 1);
+  const double cells = g_words * params.bits_per_word * params.cell_area;
+  // Address decoding: select one of M modules and one of g cells.
+  const double decoder =
+      params.switch_area *
+      (std::log2(static_cast<double>(n_modules) + 1.0) +
+       std::log2(g_words + 2.0));
+  return cells + decoder;
+}
+
+double simulator_memory_area(std::uint64_t m_vars, std::uint32_t redundancy,
+                             std::uint64_t n_modules,
+                             const VlsiParams& params) {
+  PRAMSIM_ASSERT(m_vars >= 1 && redundancy >= 1 && n_modules >= 1);
+  const double g = static_cast<double>(m_vars) * redundancy /
+                   static_cast<double>(n_modules);
+  const double modules =
+      static_cast<double>(n_modules) * module_area(g, n_modules, params);
+  // The 2DMOT switching fabric above the modules: side = sqrt(M), leaf
+  // area = one module.
+  const std::uint64_t side = util::isqrt(n_modules);
+  const double fabric =
+      mot_layout_area(side == 0 ? 1 : side, module_area(g, n_modules, params),
+                      params) -
+      modules;  // fabric = layout minus the leaves themselves
+  return modules + (fabric > 0.0 ? fabric : 0.0);
+}
+
+double pram_memory_area(std::uint64_t m_vars, const VlsiParams& params) {
+  return static_cast<double>(m_vars) * params.bits_per_word *
+         params.cell_area;
+}
+
+double memory_area_overhead(std::uint64_t m_vars, std::uint32_t redundancy,
+                            std::uint64_t n_modules,
+                            const VlsiParams& params) {
+  return simulator_memory_area(m_vars, redundancy, n_modules, params) /
+         pram_memory_area(m_vars, params);
+}
+
+double perimeter_bandwidth(std::uint64_t n_modules) {
+  return 4.0 * static_cast<double>(util::isqrt(n_modules));
+}
+
+}  // namespace pramsim::models

@@ -1,0 +1,64 @@
+// VLSI area accounting in the Thompson grid model, for the paper's layout
+// claims (§1 and §3):
+//
+//  * an (N x N)-2DMOT occupies area Theta(N^2 (log^2 N + A_leaf))
+//    (Leighton 1984 proved this layout optimal);
+//  * each memory module of g words costs ~ g * w bits of cell area plus
+//    Theta(log M + log g) of addressing/decoder overhead — the "m - n
+//    similar nodes concealed in the address decoding circuitry" the paper
+//    points out the MPC/BDN models hide;
+//  * hence with granule g = Omega(log^2 n) the whole simulator memory
+//    (modules + 2DMOT wiring) occupies Theta(m) area — the same order as
+//    the P-RAM's own memory — which is the paper's feasibility argument.
+//
+// Areas are reported in grid units (1 unit = 1 wire pitch = 1 bit cell);
+// constants are explicit parameters so the benches can show the claims'
+// *shape* without pretending to know 1989 process constants.
+#pragma once
+
+#include <cstdint>
+
+namespace pramsim::models {
+
+struct VlsiParams {
+  double bits_per_word = 64.0;   ///< word width stored per memory cell
+  double cell_area = 1.0;        ///< area of one bit cell (grid units)
+  double switch_area = 4.0;      ///< area of one tree switch node
+  double wire_pitch = 1.0;       ///< width of one routed wire track
+};
+
+/// Area of an (N x N)-2DMOT layout with leaf cells of area `leaf_area`:
+/// side = N * (sqrt(leaf_area) + wire_pitch * log2 N), area = side^2.
+/// This realizes the Theta(N^2(log^2 N + A_leaf)) bound constructively.
+[[nodiscard]] double mot_layout_area(std::uint64_t side, double leaf_area,
+                                     const VlsiParams& params = {});
+
+/// Area of one memory module holding g words: cells + decoder.
+[[nodiscard]] double module_area(double g_words, std::uint64_t n_modules,
+                                 const VlsiParams& params = {});
+
+/// Total memory area of the simulating machine: M modules of g = r*m/M
+/// words each (the replicated store), laid out at the 2DMOT's leaves.
+[[nodiscard]] double simulator_memory_area(std::uint64_t m_vars,
+                                           std::uint32_t redundancy,
+                                           std::uint64_t n_modules,
+                                           const VlsiParams& params = {});
+
+/// Area of the P-RAM's own idealized memory: m words of cells (the
+/// baseline the paper compares against).
+[[nodiscard]] double pram_memory_area(std::uint64_t m_vars,
+                                      const VlsiParams& params = {});
+
+/// Ratio simulator/pram memory area — the paper's claim is Theta(1) once
+/// g = Omega(log^2 n).
+[[nodiscard]] double memory_area_overhead(std::uint64_t m_vars,
+                                          std::uint32_t redundancy,
+                                          std::uint64_t n_modules,
+                                          const VlsiParams& params = {});
+
+/// Perimeter bandwidth of a sqrt(M) x sqrt(M) 2DMOT chip: Theta(sqrt(M))
+/// wires cross the boundary — "the 2DMOT simply makes better use of the
+/// available perimeter" (vs bandwidth 1 per MPC module).
+[[nodiscard]] double perimeter_bandwidth(std::uint64_t n_modules);
+
+}  // namespace pramsim::models

@@ -1,0 +1,61 @@
+#include "network/butterfly.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::net {
+
+ButterflyShape butterfly(std::uint32_t rows) {
+  PRAMSIM_ASSERT(util::is_pow2(rows) && rows >= 2);
+  return ButterflyShape{rows,
+                        static_cast<std::uint32_t>(util::ilog2_floor(rows))};
+}
+
+std::vector<std::uint32_t> bit_fixing_rows(const ButterflyShape& shape,
+                                           std::uint32_t src_row,
+                                           std::uint32_t dst_row) {
+  PRAMSIM_ASSERT(src_row < shape.rows && dst_row < shape.rows);
+  std::vector<std::uint32_t> rows;
+  rows.reserve(shape.levels + 1);
+  std::uint32_t row = src_row;
+  rows.push_back(row);
+  for (std::uint32_t level = 0; level < shape.levels; ++level) {
+    const std::uint32_t bit = 1U << level;
+    if ((row & bit) != (dst_row & bit)) {
+      row ^= bit;  // cross edge
+    }
+    rows.push_back(row);
+  }
+  PRAMSIM_ASSERT(row == dst_row);
+  return rows;
+}
+
+ButterflyLoad route_congestion(
+    const ButterflyShape& shape,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs) {
+  ButterflyLoad load;
+  if (pairs.empty()) {
+    return load;
+  }
+  load.dilation = shape.levels;
+  // Edge key: level (6 bits) | row-at-level (32) | crossed flag.
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_load;
+  edge_load.reserve(pairs.size() * shape.levels);
+  for (const auto& [src, dst] : pairs) {
+    const auto rows = bit_fixing_rows(shape, src, dst);
+    for (std::uint32_t level = 0; level < shape.levels; ++level) {
+      const bool crossed = rows[level] != rows[level + 1];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(level) << 34) |
+          (static_cast<std::uint64_t>(rows[level]) << 1) |
+          (crossed ? 1ULL : 0ULL);
+      load.max_congestion = std::max(load.max_congestion, ++edge_load[key]);
+    }
+  }
+  return load;
+}
+
+}  // namespace pramsim::net

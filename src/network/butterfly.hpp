@@ -1,0 +1,59 @@
+// Butterfly networks — the substrate of Ranade's (1987) probabilistic
+// P-RAM emulation, cited in the paper's §1 (O(log n) expected time with
+// O(1) queues).
+//
+// An n-input butterfly (n = 2^k) has (k+1) levels of n nodes; node
+// (level, row) connects to (level+1, row) and (level+1, row ^ 2^level):
+// the straight and cross edges. A packet from input row s to output row
+// t follows the unique bit-fixing path, crossing at level i iff bit i of
+// s and t differ. Degree 4, diameter k.
+//
+// For the baseline's cost we place one memory module per output row,
+// hash variables to rows, route each request along its bit-fixing path,
+// and charge dilation + maximum edge congestion — the standard delay
+// bound that pipelined queueing (and Ranade's combining) achieves up to
+// constants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/strong_id.hpp"
+
+namespace pramsim::net {
+
+struct ButterflyShape {
+  std::uint32_t rows = 2;    ///< n = 2^levels
+  std::uint32_t levels = 1;  ///< k = log2 n
+
+  [[nodiscard]] std::uint64_t nodes() const {
+    return static_cast<std::uint64_t>(levels + 1) * rows;
+  }
+  [[nodiscard]] std::uint64_t edges() const {
+    return 2ULL * levels * rows;  // straight + cross per (level, row)
+  }
+  [[nodiscard]] std::uint32_t max_degree() const { return 4; }
+};
+
+[[nodiscard]] ButterflyShape butterfly(std::uint32_t rows);
+
+/// The sequence of rows visited by the bit-fixing path s -> t (length
+/// levels + 1 including both endpoints).
+[[nodiscard]] std::vector<std::uint32_t> bit_fixing_rows(
+    const ButterflyShape& shape, std::uint32_t src_row,
+    std::uint32_t dst_row);
+
+/// Route a batch of (src, dst) pairs: returns (dilation, max edge
+/// congestion) where congestion counts packets sharing one directed
+/// butterfly edge. Time bound charged by the Ranade baseline is
+/// dilation + congestion - 1.
+struct ButterflyLoad {
+  std::uint32_t dilation = 0;
+  std::uint32_t max_congestion = 0;
+};
+[[nodiscard]] ButterflyLoad route_congestion(
+    const ButterflyShape& shape,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs);
+
+}  // namespace pramsim::net

@@ -1,0 +1,159 @@
+#include "network/expander.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace pramsim::net {
+
+RegularGraph::RegularGraph(std::uint32_t n_vertices, std::uint32_t degree,
+                           std::uint64_t seed)
+    : degree_(degree), adjacency_(n_vertices) {
+  PRAMSIM_ASSERT(n_vertices >= 2 && degree >= 1 && degree < n_vertices);
+  PRAMSIM_ASSERT_MSG(n_vertices % 2 == 0,
+                     "matching construction needs even n");
+  util::Rng rng(seed);
+  // Union of d random perfect matchings: each matching is retried until
+  // it adds no duplicate edge, which succeeds with probability ~
+  // exp(-d^2/2n) per draw — robust where the naive configuration model's
+  // whole-graph restart is not. The result is d-regular and simple; the
+  // union of >= 3 matchings is a.a.s. connected and expanding.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  std::vector<std::uint32_t> order(n_vertices);
+  for (std::uint32_t v = 0; v < n_vertices; ++v) {
+    order[v] = v;
+  }
+  for (std::uint32_t matching = 0; matching < degree; ++matching) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 10'000 && !placed; ++attempt) {
+      rng.shuffle(order);
+      bool fresh = true;
+      for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+        const auto a = std::min(order[i], order[i + 1]);
+        const auto b = std::max(order[i], order[i + 1]);
+        if (used.count({a, b}) != 0) {
+          fresh = false;
+          break;
+        }
+      }
+      if (!fresh) {
+        continue;
+      }
+      for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+        const auto a = order[i];
+        const auto b = order[i + 1];
+        used.insert({std::min(a, b), std::max(a, b)});
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+      }
+      placed = true;
+    }
+    PRAMSIM_ASSERT_MSG(placed, "matching construction failed to converge");
+  }
+}
+
+bool RegularGraph::connected() const {
+  const auto n = vertices();
+  std::vector<bool> seen(n, false);
+  std::queue<std::uint32_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::uint32_t visited = 1;
+  while (!frontier.empty()) {
+    const auto v = frontier.front();
+    frontier.pop();
+    for (const auto w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        frontier.push(w);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::uint32_t RegularGraph::eccentricity(std::uint32_t source) const {
+  const auto n = vertices();
+  PRAMSIM_ASSERT(source < n);
+  std::vector<std::uint32_t> dist(n, ~0U);
+  std::queue<std::uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  std::uint32_t ecc = 0;
+  while (!frontier.empty()) {
+    const auto v = frontier.front();
+    frontier.pop();
+    for (const auto w : adjacency_[v]) {
+      if (dist[w] == ~0U) {
+        dist[w] = dist[v] + 1;
+        ecc = std::max(ecc, dist[w]);
+        frontier.push(w);
+      }
+    }
+  }
+  return ecc;
+}
+
+std::uint32_t RegularGraph::diameter() const {
+  PRAMSIM_ASSERT_MSG(connected(), "diameter of a disconnected graph");
+  std::uint32_t diam = 0;
+  for (std::uint32_t v = 0; v < vertices(); ++v) {
+    diam = std::max(diam, eccentricity(v));
+  }
+  return diam;
+}
+
+double RegularGraph::lambda2(std::uint32_t iterations) const {
+  const auto n = vertices();
+  // Power iteration on A/d, deflating the top eigenvector (all-ones).
+  util::Rng rng(0xE1A2);
+  std::vector<double> x(n);
+  for (auto& v : x) {
+    v = rng.uniform01() - 0.5;
+  }
+  auto deflate = [&](std::vector<double>& vec) {
+    double mean = 0.0;
+    for (const double v : vec) {
+      mean += v;
+    }
+    mean /= n;
+    for (double& v : vec) {
+      v -= mean;
+    }
+  };
+  auto norm = [&](const std::vector<double>& vec) {
+    double s = 0.0;
+    for (const double v : vec) {
+      s += v * v;
+    }
+    return std::sqrt(s);
+  };
+  deflate(x);
+  double lambda = 0.0;
+  std::vector<double> y(n);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (const auto w : adjacency_[v]) {
+        acc += x[w];
+      }
+      y[v] = acc / degree_;
+    }
+    deflate(y);
+    const double len = norm(y);
+    if (len < 1e-300) {
+      return 0.0;
+    }
+    lambda = len / std::max(norm(x), 1e-300);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      x[v] = y[v] / len;
+    }
+  }
+  return lambda;
+}
+
+}  // namespace pramsim::net

@@ -1,0 +1,79 @@
+#include "network/router.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace pramsim::net {
+
+RouteReport route_all(std::vector<Packet>& packets, std::uint64_t max_cycles,
+                      std::uint64_t start_cycle) {
+  RouteReport report;
+  std::uint64_t pending = 0;
+  for (auto& packet : packets) {
+    if (!packet.delivered() && packet.next_edge < packet.path.size()) {
+      ++pending;
+      packet.waiting_since = std::max(packet.injected_at, start_cycle);
+    } else if (!packet.delivered()) {
+      packet.delivered_at = start_cycle;  // empty path: delivered at once
+      ++report.delivered;
+    }
+  }
+
+  struct Claim {
+    std::size_t packet_idx;
+    std::uint32_t queue = 0;
+  };
+  std::unordered_map<std::uint64_t, Claim> claims;
+  std::uint64_t cycle = start_cycle;
+  std::uint64_t latency_sum = 0;
+
+  while (pending > 0 && cycle < start_cycle + max_cycles) {
+    claims.clear();
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      Packet& p = packets[i];
+      if (p.delivered() || p.injected_at > cycle) {
+        continue;
+      }
+      const std::uint64_t key = p.path[p.next_edge].raw;
+      auto [it, fresh] = claims.try_emplace(key, Claim{i, 1});
+      if (!fresh) {
+        ++it->second.queue;
+        const Packet& cur = packets[it->second.packet_idx];
+        // FIFO: the packet blocked longest wins; ties by id.
+        if (p.waiting_since < cur.waiting_since ||
+            (p.waiting_since == cur.waiting_since && p.id < cur.id)) {
+          it->second.packet_idx = i;
+        }
+      }
+    }
+    for (const auto& [key, claim] : claims) {
+      (void)key;
+      report.max_edge_queue =
+          std::max<std::uint64_t>(report.max_edge_queue, claim.queue);
+      Packet& p = packets[claim.packet_idx];
+      ++p.next_edge;
+      ++report.total_hops;
+      p.waiting_since = cycle + 1;
+      if (p.next_edge == p.path.size()) {
+        p.delivered_at = cycle + 1;
+        ++report.delivered;
+        --pending;
+        const std::uint64_t latency = p.delivered_at - p.injected_at;
+        latency_sum += latency;
+        report.max_latency = std::max(report.max_latency, latency);
+      }
+    }
+    ++cycle;
+  }
+
+  report.cycles = cycle - start_cycle;
+  if (report.delivered > 0) {
+    report.mean_latency =
+        static_cast<double>(latency_sum) / static_cast<double>(report.delivered);
+  }
+  return report;
+}
+
+}  // namespace pramsim::net

@@ -1,0 +1,138 @@
+#include "network/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/math.hpp"
+
+namespace pramsim::net {
+
+MotShape square_mot(std::uint32_t side, bool coalesce) {
+  PRAMSIM_ASSERT(util::is_pow2(side));
+  // side == 2 with coalesced roots degenerates into a multigraph (the
+  // diagonal leaf reaches the shared root through both its trees); the
+  // paper's construction starts above that size.
+  PRAMSIM_ASSERT_MSG(!coalesce || side >= 4,
+                     "coalesced roots require side >= 4");
+  return MotShape{side, side, coalesce};
+}
+
+MotShape rect_mot(std::uint32_t rows, std::uint32_t cols) {
+  PRAMSIM_ASSERT(util::is_pow2(rows) && util::is_pow2(cols));
+  return MotShape{rows, cols, false};
+}
+
+StructureSummary summarize(const MotShape& shape) {
+  PRAMSIM_ASSERT(util::is_pow2(shape.rows) && util::is_pow2(shape.cols));
+  const std::uint64_t R = shape.rows;
+  const std::uint64_t C = shape.cols;
+  StructureSummary s;
+  s.leaves = R * C;
+  // A complete binary tree over L leaves has L-1 internal nodes and
+  // 2(L-1) edges.
+  std::uint64_t internal = R * (C - 1) + C * (R - 1);
+  if (shape.coalesced_roots) {
+    PRAMSIM_ASSERT(R == C);
+    // Root of RT(i) merges with root of CT(i): R nodes saved (when the
+    // trees have internal nodes at all).
+    if (C >= 2 && R >= 2) {
+      internal -= R;
+    }
+  }
+  s.switches = internal;
+  s.nodes = s.leaves + internal;
+  s.links = R * (2 * (C - 1)) + C * (2 * (R - 1));
+  // Degrees: leaf = 2 (row parent + column parent; 1 if a tree is trivial);
+  // internal non-root = 3; root = 2; coalesced root = 4.
+  std::uint32_t leaf_deg = (C >= 2 ? 1u : 0u) + (R >= 2 ? 1u : 0u);
+  std::uint32_t internal_deg = (R >= 2 || C >= 2) ? 3u : 0u;
+  std::uint32_t root_deg = shape.coalesced_roots && R >= 2 ? 4u : 2u;
+  if (R < 2 && C < 2) {
+    root_deg = 0;
+  }
+  s.max_degree = std::max({leaf_deg, internal_deg, root_deg});
+  // Worst leaf-to-leaf route via a row tree root and a column tree:
+  // up log C + down log C (row tree), then up log R + down log R.
+  s.diameter_hops = 2 * static_cast<std::uint64_t>(util::ilog2_ceil(C)) +
+                    2 * static_cast<std::uint64_t>(util::ilog2_ceil(R));
+  return s;
+}
+
+std::vector<std::vector<std::uint32_t>> build_adjacency(
+    const MotShape& shape) {
+  PRAMSIM_ASSERT(shape.leaves() <= (1ULL << 16));
+  // Canonical node key: leaves are shared between their row and column
+  // tree; with coalesced roots, CT(t)'s root is RT(t)'s root.
+  auto canonical = [&](TreeKind kind, std::uint32_t t,
+                       std::uint32_t p) -> std::uint64_t {
+    if (kind == TreeKind::kRow && p >= shape.cols) {
+      return (2ULL << 60) |
+             (static_cast<std::uint64_t>(t) * shape.cols + (p - shape.cols));
+    }
+    if (kind == TreeKind::kCol && p >= shape.rows) {
+      return (2ULL << 60) |
+             (static_cast<std::uint64_t>(p - shape.rows) * shape.cols + t);
+    }
+    if (kind == TreeKind::kCol && shape.coalesced_roots && p == 1) {
+      return (0ULL << 60) | (static_cast<std::uint64_t>(t) << 32) | 1ULL;
+    }
+    return (static_cast<std::uint64_t>(kind) << 60) |
+           (static_cast<std::uint64_t>(t) << 32) | p;
+  };
+
+  std::unordered_map<std::uint64_t, std::uint32_t> dense;
+  std::vector<std::vector<std::uint32_t>> adj;
+  auto id_of = [&](TreeKind kind, std::uint32_t t, std::uint32_t p) {
+    const auto key = canonical(kind, t, p);
+    const auto [it, fresh] =
+        dense.try_emplace(key, static_cast<std::uint32_t>(adj.size()));
+    if (fresh) {
+      adj.emplace_back();
+    }
+    return it->second;
+  };
+  auto connect = [&](std::uint32_t a, std::uint32_t b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+
+  for (std::uint32_t i = 0; i < shape.rows && shape.cols >= 2; ++i) {
+    for (std::uint32_t p = 2; p < 2 * shape.cols; ++p) {
+      connect(id_of(TreeKind::kRow, i, p), id_of(TreeKind::kRow, i, p / 2));
+    }
+  }
+  for (std::uint32_t j = 0; j < shape.cols && shape.rows >= 2; ++j) {
+    for (std::uint32_t p = 2; p < 2 * shape.rows; ++p) {
+      connect(id_of(TreeKind::kCol, j, p), id_of(TreeKind::kCol, j, p / 2));
+    }
+  }
+  return adj;
+}
+
+std::string ascii_sketch(const MotShape& shape) {
+  std::ostringstream out;
+  out << "(" << shape.rows << " x " << shape.cols << ") mesh of trees, "
+      << (shape.coalesced_roots ? "coalesced roots" : "distinct roots")
+      << "\n";
+  if (shape.rows > 8 || shape.cols > 8) {
+    out << "(grid too large to sketch)\n";
+    return out.str();
+  }
+  out << "  RT(i) roots on the left, CT(j) roots on top, leaves in grid:\n";
+  out << "      ";
+  for (std::uint32_t j = 0; j < shape.cols; ++j) {
+    out << " CT" << j << " ";
+  }
+  out << "\n";
+  for (std::uint32_t i = 0; i < shape.rows; ++i) {
+    out << "  RT" << i << " ";
+    for (std::uint32_t j = 0; j < shape.cols; ++j) {
+      out << " (" << i << "," << j << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pramsim::net

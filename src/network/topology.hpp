@@ -1,0 +1,89 @@
+// Mesh-of-trees topologies (Figs. 4, 7, 8 of the paper).
+//
+// An (R x C) mesh of trees has R*C leaves in a grid; row tree i is a
+// complete binary tree over the C leaves of row i, column tree j over the
+// R leaves of column j. Square instances (R == C) optionally coalesce the
+// root of row tree i with the root of column tree i, as the paper does
+// ("for simplicity, we identify row and column tree roots").
+//
+// Trees are addressed arithmetically with heap positions (root = 1,
+// children of p = 2p, 2p+1; leaves of an L-leaf tree at positions
+// L..2L-1), so the topology is never materialized: the cycle-accurate
+// router works on edge keys computed on demand, which is what lets the
+// benches run 2DMOTs with millions of logical switches. Small instances
+// can still be expanded into an explicit adjacency list for structural
+// audits (degree bounds, node/edge counts — the Fig. 4/7/8 experiments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pramsim::net {
+
+enum class TreeKind : std::uint8_t { kRow = 0, kCol = 1 };
+enum class Direction : std::uint8_t { kDown = 0, kUp = 1 };
+
+/// A directed channel of the network, encoded in one 64-bit key:
+///  * tree edges: the (parent <-> child) link of heap position `pos`
+///    (pos >= 2) in row/column tree `tree`, in direction up or down;
+///  * module ports: the service port of memory module `tree`
+///    (one packet per cycle enters the module — the unit-bandwidth rule).
+/// Each distinct key carries at most one packet per cycle.
+struct EdgeKey {
+  std::uint64_t raw = 0;
+  friend constexpr bool operator==(EdgeKey, EdgeKey) = default;
+};
+
+[[nodiscard]] constexpr EdgeKey tree_edge(TreeKind kind, std::uint32_t tree,
+                                          std::uint32_t pos, Direction dir) {
+  return EdgeKey{(static_cast<std::uint64_t>(kind) << 62) |
+                 (static_cast<std::uint64_t>(dir) << 61) |
+                 (static_cast<std::uint64_t>(tree) << 32) | pos};
+}
+
+[[nodiscard]] constexpr EdgeKey module_port(std::uint32_t module) {
+  return EdgeKey{(3ULL << 62) | (static_cast<std::uint64_t>(module) << 32)};
+}
+
+/// Shape of a mesh of trees.
+struct MotShape {
+  std::uint32_t rows = 1;      ///< R: leaves per column / row-tree count
+  std::uint32_t cols = 1;      ///< C: leaves per row / column-tree count
+  bool coalesced_roots = false;  ///< identify RT(i) and CT(i) roots (R==C)
+
+  [[nodiscard]] std::uint64_t leaves() const {
+    return static_cast<std::uint64_t>(rows) * cols;
+  }
+};
+
+/// Structural audit data for the model figures (F-experiments).
+struct StructureSummary {
+  std::uint64_t leaves = 0;
+  std::uint64_t switches = 0;  ///< internal tree nodes ("mere switches")
+  std::uint64_t nodes = 0;     ///< leaves + switches
+  std::uint64_t links = 0;     ///< undirected tree edges
+  std::uint32_t max_degree = 0;
+  std::uint64_t diameter_hops = 0;  ///< leaf-to-leaf worst case via roots
+};
+
+/// Closed-form structure counts (valid for power-of-two rows/cols).
+[[nodiscard]] StructureSummary summarize(const MotShape& shape);
+
+/// Explicit adjacency expansion for small shapes (testing the closed
+/// forms and degree bounds). Nodes get dense indices; returns adjacency
+/// lists. Asserts leaves() <= 1<<16.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> build_adjacency(
+    const MotShape& shape);
+
+/// ASCII sketch of the shape's leaf grid and tree arrangement (the Fig. 4
+/// reproduction for tiny sizes).
+[[nodiscard]] std::string ascii_sketch(const MotShape& shape);
+
+/// Validated shape constructors.
+[[nodiscard]] MotShape square_mot(std::uint32_t side, bool coalesce = true);
+[[nodiscard]] MotShape rect_mot(std::uint32_t rows, std::uint32_t cols);
+
+}  // namespace pramsim::net

@@ -1,0 +1,102 @@
+#include "pram/instruction.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace pramsim::pram {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLoadImm: return "loadi";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kMod: return "mod";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSle: return "sle";
+    case Opcode::kSeq: return "seq";
+    case Opcode::kSne: return "sne";
+    case Opcode::kAddImm: return "addi";
+    case Opcode::kMulImm: return "muli";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJz: return "jz";
+    case Opcode::kJnz: return "jnz";
+    case Opcode::kLoadLocal: return "lload";
+    case Opcode::kStoreLocal: return "lstore";
+    case Opcode::kReadShared: return "sread";
+    case Opcode::kWriteShared: return "swrite";
+    case Opcode::kPid: return "pid";
+    case Opcode::kNprocs: return "nprocs";
+  }
+  return "???";
+}
+
+std::string disassemble(const Instruction& ins) {
+  std::ostringstream out;
+  out << to_string(ins.op);
+  auto r = [](Reg reg) { return "r" + std::to_string(reg); };
+  switch (ins.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+    case Opcode::kLoadImm:
+      out << " " << r(ins.r1) << ", " << ins.imm;
+      break;
+    case Opcode::kMov:
+    case Opcode::kPid:
+    case Opcode::kNprocs:
+      out << " " << r(ins.r1);
+      if (ins.op == Opcode::kMov) {
+        out << ", " << r(ins.r2);
+      }
+      break;
+    case Opcode::kAddImm:
+    case Opcode::kMulImm:
+      out << " " << r(ins.r1) << ", " << r(ins.r2) << ", " << ins.imm;
+      break;
+    case Opcode::kJmp:
+      out << " @" << ins.imm;
+      break;
+    case Opcode::kJz:
+    case Opcode::kJnz:
+      out << " " << r(ins.r1) << ", @" << ins.imm;
+      break;
+    case Opcode::kLoadLocal:
+    case Opcode::kReadShared:
+      out << " " << r(ins.r1) << ", [" << r(ins.r2) << "+" << ins.imm << "]";
+      break;
+    case Opcode::kStoreLocal:
+    case Opcode::kWriteShared:
+      out << " [" << r(ins.r2) << "+" << ins.imm << "], " << r(ins.r1);
+      break;
+    default:
+      out << " " << r(ins.r1) << ", " << r(ins.r2) << ", " << r(ins.r3);
+      break;
+  }
+  return out.str();
+}
+
+std::string to_string(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kErew: return "EREW";
+    case ConflictPolicy::kCrew: return "CREW";
+    case ConflictPolicy::kCrcwCommon: return "CRCW-common";
+    case ConflictPolicy::kCrcwArbitrary: return "CRCW-arbitrary";
+    case ConflictPolicy::kCrcwPriority: return "CRCW-priority";
+    case ConflictPolicy::kCrcwMax: return "CRCW-max";
+  }
+  return "???";
+}
+
+}  // namespace pramsim::pram

@@ -1,0 +1,77 @@
+// The P-RAM processor instruction set.
+//
+// Each processor is a word-RAM with 16 general-purpose registers, a private
+// memory, and shared-memory access instructions. One instruction executes
+// per P-RAM step on every running processor (synchronous lock-step), as in
+// Fortune & Wyllie's formalization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pram/types.hpp"
+
+namespace pramsim::pram {
+
+/// Register index 0..15.
+using Reg = std::uint8_t;
+inline constexpr Reg kNumRegisters = 16;
+
+// Conventional register names used by the program library.
+inline constexpr Reg R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6,
+                     R7 = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12,
+                     R13 = 13, R14 = 14, R15 = 15;
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,
+  kLoadImm,      ///< r1 := imm
+  kMov,          ///< r1 := r2
+  kAdd,          ///< r1 := r2 + r3
+  kSub,          ///< r1 := r2 - r3
+  kMul,          ///< r1 := r2 * r3
+  kDiv,          ///< r1 := r2 / r3 (traps on zero divisor)
+  kMod,          ///< r1 := r2 mod r3 (traps on zero divisor)
+  kMin,          ///< r1 := min(r2, r3)
+  kMax,          ///< r1 := max(r2, r3)
+  kAnd,          ///< r1 := r2 & r3
+  kOr,           ///< r1 := r2 | r3
+  kXor,          ///< r1 := r2 ^ r3
+  kShl,          ///< r1 := r2 << r3 (r3 in [0,63], else traps)
+  kShr,          ///< r1 := r2 >> r3 (arithmetic; r3 in [0,63])
+  kSlt,          ///< r1 := (r2 < r3)
+  kSle,          ///< r1 := (r2 <= r3)
+  kSeq,          ///< r1 := (r2 == r3)
+  kSne,          ///< r1 := (r2 != r3)
+  kAddImm,       ///< r1 := r2 + imm
+  kMulImm,       ///< r1 := r2 * imm
+  kJmp,          ///< pc := imm
+  kJz,           ///< if r1 == 0 then pc := imm
+  kJnz,          ///< if r1 != 0 then pc := imm
+  kLoadLocal,    ///< r1 := private[r2 + imm]
+  kStoreLocal,   ///< private[r2 + imm] := r1
+  kReadShared,   ///< r1 := shared[r2 + imm]   (a shared-memory READ access)
+  kWriteShared,  ///< shared[r2 + imm] := r1   (a shared-memory WRITE access)
+  kPid,          ///< r1 := processor id
+  kNprocs,       ///< r1 := number of processors
+};
+
+[[nodiscard]] std::string to_string(Opcode op);
+
+/// True for the two opcodes that touch shared memory.
+[[nodiscard]] constexpr bool is_shared_access(Opcode op) {
+  return op == Opcode::kReadShared || op == Opcode::kWriteShared;
+}
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Reg r1 = 0;
+  Reg r2 = 0;
+  Reg r3 = 0;
+  Word imm = 0;
+};
+
+/// Human-readable disassembly of one instruction.
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+
+}  // namespace pramsim::pram

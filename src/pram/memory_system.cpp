@@ -1,0 +1,35 @@
+#include "pram/memory_system.hpp"
+
+#include "util/assert.hpp"
+
+namespace pramsim::pram {
+
+FlatMemory::FlatMemory(std::uint64_t m_cells) : cells_(m_cells, 0) {}
+
+MemStepCost FlatMemory::step(std::span<const VarId> reads,
+                             std::span<Word> read_values,
+                             std::span<const VarWrite> writes) {
+  PRAMSIM_ASSERT(reads.size() == read_values.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    PRAMSIM_ASSERT(reads[i].index() < cells_.size());
+    read_values[i] = cells_[reads[i].index()];
+  }
+  for (const auto& w : writes) {
+    PRAMSIM_ASSERT(w.var.index() < cells_.size());
+    cells_[w.var.index()] = w.value;
+  }
+  return MemStepCost{.time = 1,
+                     .work = reads.size() + writes.size()};
+}
+
+Word FlatMemory::peek(VarId var) const {
+  PRAMSIM_ASSERT(var.index() < cells_.size());
+  return cells_[var.index()];
+}
+
+void FlatMemory::poke(VarId var, Word value) {
+  PRAMSIM_ASSERT(var.index() < cells_.size());
+  cells_[var.index()] = value;
+}
+
+}  // namespace pramsim::pram

@@ -1,0 +1,74 @@
+// The pluggable shared-memory abstraction.
+//
+// The ideal P-RAM reads/writes a flat array in unit time. Every simulation
+// scheme in this repository (DMMPC majority, 2DMOT, IDA, hashing) is a
+// MemorySystem implementation whose step() reports how long the simulating
+// machine took, in that machine's native time unit (protocol rounds for
+// complete-interconnect models, network cycles for bounded-degree ones).
+// Plugging a scheme into pram::Machine yields the end-to-end simulated
+// P-RAM the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace pramsim::pram {
+
+/// Cost of serving one P-RAM step's accesses on the simulating machine.
+struct MemStepCost {
+  /// Elapsed time in the simulating machine's unit (rounds or cycles).
+  std::uint64_t time = 0;
+  /// Total copy/share accesses performed (work; relevant for IDA).
+  std::uint64_t work = 0;
+};
+
+/// Interface all shared-memory organizations implement.
+///
+/// Semantics contract (matching the P-RAM step semantics): all reads
+/// observe the state prior to this step's writes; reads/writes within a
+/// call are one P-RAM step. `reads` and `writes` each contain distinct
+/// variables (concurrent accesses are combined by the machine first).
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  MemorySystem() = default;
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Serve one P-RAM step. read_values[i] receives the value of reads[i].
+  virtual MemStepCost step(std::span<const VarId> reads,
+                           std::span<Word> read_values,
+                           std::span<const VarWrite> writes) = 0;
+
+  /// Number of addressable shared variables (m).
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  /// Debug/verification access: current committed value of a variable.
+  [[nodiscard]] virtual Word peek(VarId var) const = 0;
+
+  /// Verification hook: initialize a variable (not a timed operation).
+  virtual void poke(VarId var, Word value) = 0;
+};
+
+/// The ideal P-RAM's own memory: a flat array with unit access time.
+/// Serves as the reference implementation for end-to-end equivalence tests.
+class FlatMemory final : public MemorySystem {
+ public:
+  explicit FlatMemory(std::uint64_t m_cells);
+
+  MemStepCost step(std::span<const VarId> reads, std::span<Word> read_values,
+                   std::span<const VarWrite> writes) override;
+
+  [[nodiscard]] std::uint64_t size() const override { return cells_.size(); }
+  [[nodiscard]] Word peek(VarId var) const override;
+  void poke(VarId var, Word value) override;
+
+ private:
+  std::vector<Word> cells_;
+};
+
+}  // namespace pramsim::pram

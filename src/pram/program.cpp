@@ -1,0 +1,128 @@
+#include "pram/program.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace pramsim::pram {
+
+Program& Program::emit(Instruction ins) {
+  PRAMSIM_ASSERT_MSG(!finalized_, "cannot emit into a finalized program");
+  code_.push_back(ins);
+  return *this;
+}
+
+Program& Program::emit_jump(Opcode op, Reg r, const std::string& label) {
+  fixups_.push_back({code_.size(), label});
+  return emit({op, r, 0, 0, 0});
+}
+
+Program& Program::nop() { return emit({Opcode::kNop, 0, 0, 0, 0}); }
+Program& Program::halt() { return emit({Opcode::kHalt, 0, 0, 0, 0}); }
+Program& Program::loadi(Reg r, Word imm) {
+  return emit({Opcode::kLoadImm, r, 0, 0, imm});
+}
+Program& Program::mov(Reg dst, Reg src) {
+  return emit({Opcode::kMov, dst, src, 0, 0});
+}
+
+#define PRAMSIM_EMIT3(method, opcode)                  \
+  Program& Program::method(Reg dst, Reg a, Reg b) {    \
+    return emit({Opcode::opcode, dst, a, b, 0});       \
+  }
+PRAMSIM_EMIT3(add, kAdd)
+PRAMSIM_EMIT3(sub, kSub)
+PRAMSIM_EMIT3(mul, kMul)
+PRAMSIM_EMIT3(div, kDiv)
+PRAMSIM_EMIT3(mod, kMod)
+PRAMSIM_EMIT3(min, kMin)
+PRAMSIM_EMIT3(max, kMax)
+PRAMSIM_EMIT3(and_, kAnd)
+PRAMSIM_EMIT3(or_, kOr)
+PRAMSIM_EMIT3(xor_, kXor)
+PRAMSIM_EMIT3(shl, kShl)
+PRAMSIM_EMIT3(shr, kShr)
+PRAMSIM_EMIT3(slt, kSlt)
+PRAMSIM_EMIT3(sle, kSle)
+PRAMSIM_EMIT3(seq, kSeq)
+PRAMSIM_EMIT3(sne, kSne)
+#undef PRAMSIM_EMIT3
+
+Program& Program::addi(Reg dst, Reg a, Word imm) {
+  return emit({Opcode::kAddImm, dst, a, 0, imm});
+}
+Program& Program::muli(Reg dst, Reg a, Word imm) {
+  return emit({Opcode::kMulImm, dst, a, 0, imm});
+}
+Program& Program::jmp(const std::string& label) {
+  return emit_jump(Opcode::kJmp, 0, label);
+}
+Program& Program::jz(Reg r, const std::string& label) {
+  return emit_jump(Opcode::kJz, r, label);
+}
+Program& Program::jnz(Reg r, const std::string& label) {
+  return emit_jump(Opcode::kJnz, r, label);
+}
+Program& Program::lload(Reg dst, Reg addr, Word offset) {
+  return emit({Opcode::kLoadLocal, dst, addr, 0, offset});
+}
+Program& Program::lstore(Reg addr, Reg src, Word offset) {
+  return emit({Opcode::kStoreLocal, src, addr, 0, offset});
+}
+Program& Program::sread(Reg dst, Reg addr, Word offset) {
+  return emit({Opcode::kReadShared, dst, addr, 0, offset});
+}
+Program& Program::swrite(Reg addr, Reg src, Word offset) {
+  return emit({Opcode::kWriteShared, src, addr, 0, offset});
+}
+Program& Program::pid(Reg dst) { return emit({Opcode::kPid, dst, 0, 0, 0}); }
+Program& Program::nprocs(Reg dst) {
+  return emit({Opcode::kNprocs, dst, 0, 0, 0});
+}
+
+Program& Program::label(const std::string& name) {
+  PRAMSIM_ASSERT_MSG(!finalized_, "cannot label a finalized program");
+  if (!labels_.emplace(name, code_.size()).second) {
+    throw std::runtime_error("duplicate label: " + name);
+  }
+  return *this;
+}
+
+void Program::finalize() {
+  if (finalized_) {
+    return;
+  }
+  for (const auto& fixup : fixups_) {
+    const auto it = labels_.find(fixup.label);
+    if (it == labels_.end()) {
+      throw std::runtime_error("undefined label: " + fixup.label);
+    }
+    code_[fixup.pc].imm = static_cast<Word>(it->second);
+  }
+  fixups_.clear();
+  finalized_ = true;
+}
+
+const Instruction& Program::at(std::size_t pc) const {
+  PRAMSIM_ASSERT(pc < code_.size());
+  return code_[pc];
+}
+
+std::string Program::listing() const {
+  std::ostringstream out;
+  out << "; program: " << name_ << " (" << code_.size() << " instructions)\n";
+  std::unordered_map<std::size_t, std::string> rev;
+  for (const auto& [name, pc] : labels_) {
+    rev[pc] = name;
+  }
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    if (const auto it = rev.find(pc); it != rev.end()) {
+      out << it->second << ":\n";
+    }
+    out << "  " << pc << ": " << disassemble(code_[pc]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pramsim::pram

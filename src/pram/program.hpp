@@ -1,0 +1,87 @@
+// Program container and assembler-style builder.
+//
+// Programs are built by chaining emit methods; forward jump targets use
+// string labels resolved by finalize(). All processors execute the same
+// program (SPMD), branching on their processor id via pid().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pram/instruction.hpp"
+
+namespace pramsim::pram {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  // ----- emitters (each appends one instruction and returns *this) -----
+  Program& nop();
+  Program& halt();
+  Program& loadi(Reg r, Word imm);
+  Program& mov(Reg dst, Reg src);
+  Program& add(Reg dst, Reg a, Reg b);
+  Program& sub(Reg dst, Reg a, Reg b);
+  Program& mul(Reg dst, Reg a, Reg b);
+  Program& div(Reg dst, Reg a, Reg b);
+  Program& mod(Reg dst, Reg a, Reg b);
+  Program& min(Reg dst, Reg a, Reg b);
+  Program& max(Reg dst, Reg a, Reg b);
+  Program& and_(Reg dst, Reg a, Reg b);
+  Program& or_(Reg dst, Reg a, Reg b);
+  Program& xor_(Reg dst, Reg a, Reg b);
+  Program& shl(Reg dst, Reg a, Reg b);
+  Program& shr(Reg dst, Reg a, Reg b);
+  Program& slt(Reg dst, Reg a, Reg b);
+  Program& sle(Reg dst, Reg a, Reg b);
+  Program& seq(Reg dst, Reg a, Reg b);
+  Program& sne(Reg dst, Reg a, Reg b);
+  Program& addi(Reg dst, Reg a, Word imm);
+  Program& muli(Reg dst, Reg a, Word imm);
+  Program& jmp(const std::string& label);
+  Program& jz(Reg r, const std::string& label);
+  Program& jnz(Reg r, const std::string& label);
+  Program& lload(Reg dst, Reg addr, Word offset = 0);
+  Program& lstore(Reg addr, Reg src, Word offset = 0);
+  /// Shared-memory read: dst := shared[addr_reg + offset].
+  Program& sread(Reg dst, Reg addr, Word offset = 0);
+  /// Shared-memory write: shared[addr_reg + offset] := src.
+  Program& swrite(Reg addr, Reg src, Word offset = 0);
+  Program& pid(Reg dst);
+  Program& nprocs(Reg dst);
+
+  /// Bind `name` to the next emitted instruction's address.
+  Program& label(const std::string& name);
+
+  /// Resolve all jump labels. Throws std::runtime_error on an undefined
+  /// label. Must be called before execution; idempotent.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] const Instruction& at(std::size_t pc) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Full disassembly listing (for docs/examples).
+  [[nodiscard]] std::string listing() const;
+
+ private:
+  Program& emit(Instruction ins);
+  Program& emit_jump(Opcode op, Reg r, const std::string& label);
+
+  std::string name_ = "unnamed";
+  std::vector<Instruction> code_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  struct Fixup {
+    std::size_t pc;
+    std::string label;
+  };
+  std::vector<Fixup> fixups_;
+  bool finalized_ = false;
+};
+
+}  // namespace pramsim::pram

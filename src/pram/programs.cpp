@@ -1,0 +1,288 @@
+#include "pram/programs.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::pram::programs {
+
+namespace {
+// Register conventions shared by all library programs.
+constexpr Reg kPid = R15;    // processor id i
+constexpr Reg kN = R14;      // processor count n
+constexpr Reg kZero = R13;   // constant 0
+constexpr Reg kTwo = R11;    // constant 2
+
+void emit_prologue(Program& p) {
+  p.pid(kPid).nprocs(kN).loadi(kZero, 0).loadi(kTwo, 2);
+}
+}  // namespace
+
+ProgramSpec prefix_sum(std::uint32_t n) {
+  PRAMSIM_ASSERT(n >= 1);
+  Program p("prefix_sum");
+  emit_prologue(p);
+  // R1 = d (doubling offset)
+  p.loadi(R1, 1);
+  p.label("loop");
+  // tmp[i] = x[i]
+  p.sread(R2, kPid);            // R2 = x[i]
+  p.add(R3, kPid, kN);          // R3 = n + i
+  p.swrite(R3, R2);             // tmp[i] = x[i]
+  // flag = (d <= i)
+  p.sle(R4, R1, kPid);
+  // addr = flag ? n+i-d : 2n+i   (masked processors read private scratch)
+  p.add(R5, kPid, kN);
+  p.sub(R5, R5, R1);            // n + i - d
+  p.add(R6, kPid, kN);
+  p.add(R6, R6, kN);            // 2n + i
+  p.sub(R7, R5, R6);
+  p.mul(R7, R7, R4);
+  p.add(R5, R6, R7);            // selected address
+  p.sread(R8, R5);              // tmp[i-d] (or scratch)
+  p.mul(R8, R8, R4);            // mask contribution
+  p.add(R2, R2, R8);
+  p.swrite(kPid, R2);           // x[i] += tmp[i-d]
+  // d *= 2; loop while d < n
+  p.add(R1, R1, R1);
+  p.slt(R4, R1, kN);
+  p.jnz(R4, "loop");
+  p.halt();
+  p.finalize();
+  return {std::move(p), 3ULL * n, ConflictPolicy::kErew};
+}
+
+ProgramSpec reduce_sum(std::uint32_t n) {
+  PRAMSIM_ASSERT(n >= 1);
+  Program p("reduce_sum");
+  emit_prologue(p);
+  p.loadi(R1, 1);               // d
+  p.label("loop");
+  p.add(R2, R1, R1);            // 2d
+  p.mod(R3, kPid, R2);          // i mod 2d
+  p.seq(R4, R3, kZero);         // (i mod 2d == 0)
+  p.add(R5, kPid, R1);          // i + d
+  p.slt(R6, R5, kN);            // i + d < n
+  p.mul(R4, R4, R6);            // active flag
+  // partner addr = active ? i+d : n+i
+  p.add(R7, kPid, kN);          // n + i
+  p.sub(R8, R5, R7);
+  p.mul(R8, R8, R4);
+  p.add(R7, R7, R8);
+  p.sread(R9, R7);              // x[i+d] or scratch
+  p.mul(R9, R9, R4);
+  p.sread(R10, kPid);           // x[i]
+  p.add(R10, R10, R9);
+  p.swrite(kPid, R10);          // x[i] += masked partner
+  p.add(R1, R1, R1);
+  p.slt(R4, R1, kN);
+  p.jnz(R4, "loop");
+  p.halt();
+  p.finalize();
+  return {std::move(p), 2ULL * n, ConflictPolicy::kErew};
+}
+
+ProgramSpec list_rank(std::uint32_t n) {
+  PRAMSIM_ASSERT(n >= 1);
+  const auto rounds = static_cast<Word>(n > 1 ? util::ilog2_ceil(n) : 1);
+  Program p("list_rank");
+  emit_prologue(p);
+  p.loadi(R1, rounds);
+  p.label("loop");
+  p.sread(R2, kPid);            // R2 = next[i]
+  p.add(R4, R2, kN);
+  p.sread(R5, R4);              // R5 = rank[next[i]]   (concurrent read)
+  p.add(R6, kPid, kN);
+  p.sread(R7, R6);              // R7 = rank[i]
+  p.add(R7, R7, R5);
+  p.swrite(R6, R7);             // rank[i] += rank[next[i]]
+  p.sread(R8, R2);              // R8 = next[next[i]]   (concurrent read)
+  p.swrite(kPid, R8);           // next[i] = next[next[i]]
+  p.addi(R1, R1, -1);
+  p.jnz(R1, "loop");
+  p.halt();
+  p.finalize();
+  return {std::move(p), 2ULL * n, ConflictPolicy::kCrew};
+}
+
+ProgramSpec odd_even_sort(std::uint32_t n) {
+  PRAMSIM_ASSERT(n >= 1);
+  Program p("odd_even_sort");
+  emit_prologue(p);
+  p.loadi(R1, 0);               // round t
+  p.label("loop");
+  p.add(R2, kPid, R1);
+  p.mod(R3, R2, kTwo);
+  p.seq(R4, R3, kZero);         // (i + t) even
+  p.addi(R5, kPid, 1);          // i + 1
+  p.slt(R6, R5, kN);            // i + 1 < n
+  p.mul(R4, R4, R6);            // active: handles pair (i, i+1)
+  // own addr = active ? i : n+i
+  p.add(R7, kPid, kN);          // n + i
+  p.sub(R8, kPid, R7);          // -n
+  p.mul(R8, R8, R4);
+  p.add(R7, R7, R8);
+  // partner addr = active ? i+1 : 2n+i
+  p.add(R9, kPid, kN);
+  p.add(R9, R9, kN);            // 2n + i
+  p.sub(R10, R5, R9);
+  p.mul(R10, R10, R4);
+  p.add(R9, R9, R10);
+  p.sread(R2, R7);              // first element (or scratch)
+  p.sread(R3, R9);              // second element (or scratch)
+  p.min(R10, R2, R3);
+  p.max(R2, R2, R3);
+  p.swrite(R7, R10);            // first  = min
+  p.swrite(R9, R2);             // second = max
+  p.addi(R1, R1, 1);
+  p.slt(R4, R1, kN);
+  p.jnz(R4, "loop");
+  p.halt();
+  p.finalize();
+  return {std::move(p), 3ULL * n, ConflictPolicy::kErew};
+}
+
+ProgramSpec matvec(std::uint32_t n_rows) {
+  PRAMSIM_ASSERT(n_rows >= 1);
+  Program p("matvec");
+  emit_prologue(p);
+  p.loadi(R1, 0);               // j
+  p.loadi(R2, 0);               // accumulator
+  p.mul(R3, kPid, kN);          // i * N
+  p.mul(R6, kN, kN);            // N^2 (base of x)
+  p.label("loop");
+  p.add(R4, R3, R1);
+  p.sread(R5, R4);              // A[i][j]
+  p.add(R7, R6, R1);
+  p.sread(R8, R7);              // x[j]  (concurrent read by all rows)
+  p.mul(R5, R5, R8);
+  p.add(R2, R2, R5);
+  p.addi(R1, R1, 1);
+  p.slt(R9, R1, kN);
+  p.jnz(R9, "loop");
+  p.add(R7, R6, kN);
+  p.add(R7, R7, kPid);
+  p.swrite(R7, R2);             // y[i]
+  p.halt();
+  p.finalize();
+  const std::uint64_t n64 = n_rows;
+  return {std::move(p), n64 * n64 + 2 * n64, ConflictPolicy::kCrew};
+}
+
+ProgramSpec bitonic_sort(std::uint32_t n) {
+  PRAMSIM_ASSERT(n >= 1);
+  PRAMSIM_ASSERT_MSG(n == 1 || util::is_pow2(n),
+                     "bitonic sort requires a power-of-two input size");
+  Program p("bitonic_sort");
+  emit_prologue(p);
+  if (n == 1) {
+    p.halt();
+    p.finalize();
+    return {std::move(p), 3, ConflictPolicy::kErew};
+  }
+  // R1 = k (stage size), R2 = j (pass distance).
+  p.loadi(R1, 2);
+  p.label("stage");
+  p.div(R2, R1, kTwo);          // j = k / 2
+  p.label("pass");
+  // partner = i XOR j; active iff partner > i.
+  p.xor_(R3, kPid, R2);
+  p.slt(R4, kPid, R3);          // active = (i < partner)
+  // ascending iff (i & k) == 0.
+  p.and_(R5, kPid, R1);
+  p.seq(R5, R5, kZero);         // dir = 1 ascending, 0 descending
+  // own addr   = active ? i       : n + i
+  p.add(R6, kPid, kN);          // n + i
+  p.sub(R7, kPid, R6);          // -n
+  p.mul(R7, R7, R4);
+  p.add(R6, R6, R7);
+  // partner addr = active ? partner : 2n + i
+  p.add(R8, kPid, kN);
+  p.add(R8, R8, kN);            // 2n + i
+  p.sub(R9, R3, R8);
+  p.mul(R9, R9, R4);
+  p.add(R8, R8, R9);
+  p.sread(R9, R6);              // first value (or scratch)
+  p.sread(R10, R8);             // second value (or scratch)
+  p.min(R3, R9, R10);           // R3 = min (partner reg no longer needed)
+  p.max(R9, R9, R10);           // R9 = max
+  // lo' = dir ? min : max = max + dir*(min-max); hi' = min+max-lo'.
+  p.sub(R10, R3, R9);
+  p.mul(R10, R10, R5);
+  p.add(R10, R9, R10);          // R10 = lo'
+  p.add(R3, R3, R9);
+  p.sub(R3, R3, R10);           // R3 = hi'
+  p.swrite(R6, R10);
+  p.swrite(R8, R3);
+  // j /= 2; loop while j >= 1.
+  p.div(R2, R2, kTwo);
+  p.slt(R4, kZero, R2);
+  p.jnz(R4, "pass");
+  // k *= 2; loop while k <= n.
+  p.add(R1, R1, R1);
+  p.sle(R4, R1, kN);
+  p.jnz(R4, "stage");
+  p.halt();
+  p.finalize();
+  return {std::move(p), 3ULL * n, ConflictPolicy::kErew};
+}
+
+ProgramSpec broadcast(std::uint32_t n) {
+  PRAMSIM_ASSERT(n >= 1);
+  Program p("broadcast");
+  emit_prologue(p);
+  p.loadi(R1, 1);               // d
+  p.label("loop");
+  p.slt(R4, kPid, R1);          // i < d
+  p.add(R5, kPid, R1);          // i + d
+  p.slt(R6, R5, kN);            // i + d < n
+  p.mul(R4, R4, R6);            // active
+  // read addr  = active ? i     : n + i
+  p.add(R7, kPid, kN);
+  p.sub(R8, kPid, R7);
+  p.mul(R8, R8, R4);
+  p.add(R7, R7, R8);
+  // write addr = active ? i + d : n + i
+  p.add(R9, kPid, kN);
+  p.sub(R10, R5, R9);
+  p.mul(R10, R10, R4);
+  p.add(R9, R9, R10);
+  p.sread(R2, R7);
+  p.swrite(R9, R2);
+  p.add(R1, R1, R1);
+  p.slt(R4, R1, kN);
+  p.jnz(R4, "loop");
+  p.halt();
+  p.finalize();
+  return {std::move(p), 2ULL * n, ConflictPolicy::kErew};
+}
+
+ProgramSpec broadcast_read() {
+  Program p("broadcast_read");
+  p.loadi(R1, 0);
+  p.sread(R2, R1);   // everyone reads shared[0]
+  p.halt();
+  p.finalize();
+  return {std::move(p), 1, ConflictPolicy::kCrew};
+}
+
+ProgramSpec common_write(Word value) {
+  Program p("common_write");
+  p.loadi(R1, 0);
+  p.loadi(R2, value);
+  p.swrite(R1, R2);  // everyone writes the same value to shared[0]
+  p.halt();
+  p.finalize();
+  return {std::move(p), 1, ConflictPolicy::kCrcwCommon};
+}
+
+ProgramSpec pid_write() {
+  Program p("pid_write");
+  p.loadi(R1, 0);
+  p.pid(R2);
+  p.swrite(R1, R2);  // everyone writes its pid to shared[0]
+  p.halt();
+  p.finalize();
+  return {std::move(p), 1, ConflictPolicy::kCrcwArbitrary};
+}
+
+}  // namespace pramsim::pram::programs

@@ -1,0 +1,76 @@
+// Canonical P-RAM programs.
+//
+// These are the classic algorithms the P-RAM literature (and the paper's
+// introduction) motivates: prefix sums, balanced-tree reduction, pointer
+// jumping / list ranking, odd-even transposition sorting, matrix-vector
+// product (the 2DMOT's original workload, Nath et al. 1983).
+//
+// All programs are SPMD and *predicated*: every processor executes the
+// identical instruction sequence (branch decisions depend only on values
+// that are equal across processors), so the machine stays in lock-step and
+// the per-step access patterns satisfy the stated conflict policy by
+// construction. Inactive processors access per-processor scratch cells to
+// preserve exclusivity under EREW.
+#pragma once
+
+#include <cstdint>
+
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+
+namespace pramsim::pram::programs {
+
+/// A program together with its shared-memory footprint and the weakest
+/// conflict policy under which it runs violation-free.
+struct ProgramSpec {
+  Program program;
+  std::uint64_t m_required = 0;      ///< minimum shared cells
+  ConflictPolicy min_policy = ConflictPolicy::kErew;
+};
+
+/// Inclusive prefix sum of shared[0..n) in place (Hillis–Steele with
+/// double buffering). EREW. Layout: x = [0,n), tmp = [n,2n),
+/// scratch = [2n,3n). ceil(log2 n) rounds.
+[[nodiscard]] ProgramSpec prefix_sum(std::uint32_t n);
+
+/// Sum-reduction of shared[0..n) into shared[0] (balanced binary fan-in).
+/// EREW. Layout: x = [0,n), scratch = [n,2n). ceil(log2 n) rounds.
+[[nodiscard]] ProgramSpec reduce_sum(std::uint32_t n);
+
+/// List ranking by pointer jumping. CREW.
+/// Layout: next = [0,n), rank = [n,2n). Input: next[i] = successor,
+/// tail points to itself; rank[i] = 1 for non-tail, 0 for tail.
+/// Output: rank[i] = distance from i to the tail. ceil(log2 n) rounds.
+[[nodiscard]] ProgramSpec list_rank(std::uint32_t n);
+
+/// Odd–even transposition sort of shared[0..n) ascending. EREW.
+/// Layout: a = [0,n), scratch1 = [n,2n), scratch2 = [2n,3n). n rounds.
+[[nodiscard]] ProgramSpec odd_even_sort(std::uint32_t n);
+
+/// Dense matrix-vector product y = A*x with one processor per row. CREW
+/// (every processor reads x[j] simultaneously).
+/// Layout: A row-major = [0,N^2), x = [N^2,N^2+N), y = [N^2+N,N^2+2N).
+[[nodiscard]] ProgramSpec matvec(std::uint32_t n_rows);
+
+/// Full bitonic sort of shared[0..n) ascending, n a power of two. EREW.
+/// Layout: a = [0,n), scratch1 = [n,2n), scratch2 = [2n,3n).
+/// (log2 n)(log2 n + 1)/2 compare-exchange rounds.
+[[nodiscard]] ProgramSpec bitonic_sort(std::uint32_t n);
+
+/// Broadcast shared[0] into shared[0..n) by recursive doubling. EREW.
+/// Layout: x = [0,n), scratch = [n,2n). ceil(log2 n) rounds.
+[[nodiscard]] ProgramSpec broadcast(std::uint32_t n);
+
+// ---- tiny conflict-semantics probes used by tests -----------------------
+
+/// Every processor reads shared[0]. Violates EREW, legal under CREW.
+[[nodiscard]] ProgramSpec broadcast_read();
+
+/// Every processor writes `value` to shared[0]. Legal under CRCW-common.
+[[nodiscard]] ProgramSpec common_write(Word value);
+
+/// Every processor writes its pid to shared[0]. Under CRCW-max the cell
+/// ends as n-1; under CRCW-priority/arbitrary as 0; violates CRCW-common.
+[[nodiscard]] ProgramSpec pid_write();
+
+}  // namespace pramsim::pram::programs

@@ -1,0 +1,136 @@
+#include "pram/trace.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace pramsim::pram {
+
+std::string to_string(TraceFamily family) {
+  switch (family) {
+    case TraceFamily::kPermutation: return "permutation";
+    case TraceFamily::kUniform: return "uniform";
+    case TraceFamily::kHotspot: return "hotspot";
+    case TraceFamily::kStride: return "stride";
+    case TraceFamily::kBitReversal: return "bit-reversal";
+    case TraceFamily::kBroadcast: return "broadcast";
+  }
+  return "???";
+}
+
+const std::vector<TraceFamily>& all_trace_families() {
+  static const std::vector<TraceFamily> families = {
+      TraceFamily::kPermutation, TraceFamily::kUniform,
+      TraceFamily::kHotspot,     TraceFamily::kStride,
+      TraceFamily::kBitReversal, TraceFamily::kBroadcast,
+  };
+  return families;
+}
+
+const std::vector<TraceFamily>& exclusive_trace_families() {
+  static const std::vector<TraceFamily> families = {
+      TraceFamily::kPermutation,
+      TraceFamily::kStride,
+      TraceFamily::kBitReversal,
+  };
+  return families;
+}
+
+namespace {
+
+std::uint64_t bit_reverse(std::uint64_t x, int bits) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((x >> i) & 1ULL);
+  }
+  return out;
+}
+
+}  // namespace
+
+AccessBatch make_batch(TraceFamily family, std::uint32_t n, std::uint64_t m,
+                       util::Rng& rng, const TraceParams& params) {
+  PRAMSIM_ASSERT(n >= 1 && m >= 1);
+  AccessBatch batch;
+  batch.reserve(n);
+
+  auto op_for = [&](std::uint32_t /*proc*/) {
+    return rng.bernoulli(params.write_fraction) ? AccessOp::kWrite
+                                                : AccessOp::kRead;
+  };
+  auto push = [&](std::uint32_t proc, std::uint64_t var, AccessOp op) {
+    PRAMSIM_ASSERT(var < m);
+    batch.push_back({ProcId(proc), op, VarId(static_cast<std::uint32_t>(var)),
+                     static_cast<Word>(rng.below(1'000'000))});
+  };
+
+  switch (family) {
+    case TraceFamily::kPermutation: {
+      PRAMSIM_ASSERT(m >= n);
+      const auto vars = rng.sample_without_replacement(m, n);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        push(p, vars[p], op_for(p));
+      }
+      break;
+    }
+    case TraceFamily::kUniform: {
+      for (std::uint32_t p = 0; p < n; ++p) {
+        push(p, rng.below(m), op_for(p));
+      }
+      break;
+    }
+    case TraceFamily::kHotspot: {
+      const std::uint64_t hot = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(params.hotset_size, m));
+      for (std::uint32_t p = 0; p < n; ++p) {
+        const std::uint64_t var = rng.bernoulli(params.hotspot_fraction)
+                                      ? rng.below(hot)
+                                      : rng.below(m);
+        push(p, var, op_for(p));
+      }
+      break;
+    }
+    case TraceFamily::kStride: {
+      const std::uint64_t stride = std::max<std::uint64_t>(1, params.stride);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        push(p, (params.offset + p * stride) % m, op_for(p));
+      }
+      break;
+    }
+    case TraceFamily::kBitReversal: {
+      const int bits = n > 1 ? util::ilog2_ceil(n) : 1;
+      PRAMSIM_ASSERT_MSG(m >= (1ULL << bits),
+                         "bit-reversal trace needs m >= next_pow2(n)");
+      for (std::uint32_t p = 0; p < n; ++p) {
+        push(p, bit_reverse(p, bits), op_for(p));
+      }
+      break;
+    }
+    case TraceFamily::kBroadcast: {
+      for (std::uint32_t p = 0; p < n; ++p) {
+        push(p, 0, AccessOp::kRead);
+      }
+      break;
+    }
+  }
+  return batch;
+}
+
+std::vector<AccessBatch> make_trace(TraceFamily family, std::uint32_t n,
+                                    std::uint64_t m, std::size_t steps,
+                                    util::Rng& rng,
+                                    const TraceParams& params) {
+  std::vector<AccessBatch> trace;
+  trace.reserve(steps);
+  TraceParams p = params;
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Vary the stride family's offset per step so consecutive steps hit
+    // different variables (like a scanning stencil).
+    if (family == TraceFamily::kStride) {
+      p.offset = (params.offset + s * n) % m;
+    }
+    trace.push_back(make_batch(family, n, m, rng, p));
+  }
+  return trace;
+}
+
+}  // namespace pramsim::pram

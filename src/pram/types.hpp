@@ -1,0 +1,54 @@
+// Core vocabulary types for the P-RAM model (Fortune & Wyllie 1978),
+// shared by the ideal machine, the trace generators and every simulation
+// scheme in src/core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/strong_id.hpp"
+
+namespace pramsim::pram {
+
+/// Machine word. The paper's machines are word-RAMs; 64-bit signed keeps
+/// address arithmetic and data in one type, as in the classic RAM model.
+using Word = std::int64_t;
+
+/// Read/write access direction.
+enum class AccessOp : std::uint8_t { kRead, kWrite };
+
+/// P-RAM conflict-handling variants (paper §1). The "arbitrary" and
+/// "priority" CW rules are both resolved deterministically by lowest
+/// processor id so that simulations are replayable; "max" takes the largest
+/// written value (a common CW convention).
+enum class ConflictPolicy : std::uint8_t {
+  kErew,          ///< exclusive read, exclusive write
+  kCrew,          ///< concurrent read, exclusive write
+  kCrcwCommon,    ///< concurrent writes must agree on the value
+  kCrcwArbitrary, ///< one write wins (deterministic: lowest proc id)
+  kCrcwPriority,  ///< lowest-numbered processor wins
+  kCrcwMax,       ///< largest value wins
+};
+
+[[nodiscard]] std::string to_string(ConflictPolicy policy);
+
+/// One shared-memory access request issued by one processor in one step.
+struct Access {
+  ProcId proc;
+  AccessOp op = AccessOp::kRead;
+  VarId var;
+  Word value = 0;  ///< written value (kWrite only)
+};
+
+/// A full P-RAM step's worth of accesses: at most one per processor.
+using AccessBatch = std::vector<Access>;
+
+/// A deduplicated write: the value that actually commits to a variable
+/// after concurrent-write resolution.
+struct VarWrite {
+  VarId var;
+  Word value = 0;
+};
+
+}  // namespace pramsim::pram

@@ -1,0 +1,60 @@
+#include "sortnet/batcher.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace pramsim::sortnet {
+
+std::size_t ComparatorNetwork::size() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.size();
+  }
+  return total;
+}
+
+void ComparatorNetwork::add(std::uint32_t lo, std::uint32_t hi) {
+  PRAMSIM_ASSERT(!layers_.empty());
+  PRAMSIM_ASSERT(lo < hi && hi < n_lines_);
+#ifndef NDEBUG
+  for (const auto& comp : layers_.back()) {
+    PRAMSIM_ASSERT_MSG(comp.lo != lo && comp.lo != hi && comp.hi != lo &&
+                           comp.hi != hi,
+                       "comparators within a layer must be line-disjoint");
+  }
+#endif
+  layers_.back().push_back({lo, hi});
+}
+
+ComparatorNetwork batcher_sort(std::uint32_t n_lines) {
+  PRAMSIM_ASSERT(util::is_pow2(n_lines));
+  ComparatorNetwork net(n_lines);
+  if (n_lines < 2) {
+    return net;
+  }
+  // Iterative Batcher odd-even mergesort (Knuth 5.3.4, Algorithm M):
+  // every (p, k) pair forms one parallel layer of disjoint ascending
+  // comparators.
+  const std::uint32_t n = n_lines;
+  for (std::uint32_t p = 1; p < n; p <<= 1) {
+    for (std::uint32_t k = p; k >= 1; k >>= 1) {
+      net.new_layer();
+      for (std::uint32_t j = k % p; j + k < n; j += 2 * k) {
+        for (std::uint32_t i = 0; i < k && i + j + k < n; ++i) {
+          const std::uint32_t a = i + j;
+          const std::uint32_t b = i + j + k;
+          if (a / (2 * p) == b / (2 * p)) {
+            net.add(a, b);
+          }
+        }
+      }
+      if (k == 1) {
+        break;  // k >>= 1 on k == 1 would wrap for unsigned
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace pramsim::sortnet

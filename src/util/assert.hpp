@@ -1,0 +1,47 @@
+// Assertion macros for pramsim.
+//
+// PRAMSIM_ASSERT   - checked in all build types; used for invariants whose
+//                    violation means the simulation result is meaningless.
+// PRAMSIM_DASSERT  - debug-only (compiled out under NDEBUG); used in hot
+//                    loops of the network engine and protocol schedulers.
+//
+// Both print file:line and the failed expression, then abort. We prefer
+// abort over exceptions here: a failed invariant in a simulator is a
+// programming error, not a recoverable condition (CppCoreGuidelines I.6).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pramsim::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pramsim assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace pramsim::detail
+
+#define PRAMSIM_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::pramsim::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (false)
+
+#define PRAMSIM_ASSERT_MSG(expr, msg)                                 \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::pramsim::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define PRAMSIM_DASSERT(expr) \
+  do {                        \
+  } while (false)
+#else
+#define PRAMSIM_DASSERT(expr) PRAMSIM_ASSERT(expr)
+#endif

@@ -1,0 +1,98 @@
+#include "util/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pramsim::util {
+
+LinearFit least_squares(std::span<const double> x, std::span<const double> y) {
+  PRAMSIM_ASSERT(x.size() == y.size());
+  PRAMSIM_ASSERT(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (std::abs(denom) < 1e-12) {
+    // Degenerate x (e.g. constant shape): best fit is the mean.
+    fit.intercept = sy / n;
+    fit.slope = 0.0;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  const double mean_y = sy / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.eval(x[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+namespace {
+double shape_const(double) { return 1.0; }
+double shape_log(double n) { return std::log2(n); }
+double shape_log_sq(double n) {
+  const double l = std::log2(n);
+  return l * l;
+}
+double shape_log_sq_over_loglog(double n) {
+  const double l = std::log2(n);
+  return l * l / std::log2(l);
+}
+double shape_sqrt(double n) { return std::sqrt(n); }
+double shape_linear(double n) { return n; }
+}  // namespace
+
+const std::vector<ScalingShape>& standard_shapes() {
+  static const std::vector<ScalingShape> shapes = {
+      {"1", shape_const},
+      {"log n", shape_log},
+      {"log^2 n", shape_log_sq},
+      {"log^2 n/loglog n", shape_log_sq_over_loglog},
+      {"sqrt n", shape_sqrt},
+      {"n", shape_linear},
+  };
+  return shapes;
+}
+
+std::vector<ShapeFit> fit_shapes(std::span<const double> n,
+                                 std::span<const double> y,
+                                 const std::vector<ScalingShape>& shapes) {
+  PRAMSIM_ASSERT(n.size() == y.size());
+  std::vector<ShapeFit> fits;
+  fits.reserve(shapes.size());
+  std::vector<double> fx(n.size());
+  for (const auto& shape : shapes) {
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      PRAMSIM_ASSERT(n[i] >= 4.0);
+      fx[i] = shape.f(n[i]);
+    }
+    fits.push_back({shape.name, least_squares(fx, y)});
+  }
+  std::stable_sort(fits.begin(), fits.end(),
+                   [](const ShapeFit& a, const ShapeFit& b) {
+                     return a.fit.r_squared > b.fit.r_squared;
+                   });
+  return fits;
+}
+
+std::string best_shape(std::span<const double> n, std::span<const double> y) {
+  return fit_shapes(n, y).front().shape_name;
+}
+
+}  // namespace pramsim::util

@@ -1,0 +1,55 @@
+// Scaling-shape fits.
+//
+// The reproduction targets of this repository are asymptotic *shapes*
+// (Theorem 2: O(log n); Theorem 3: O(log^2 n / log log n)), so the bench
+// harnesses fit measured series T(n) against a fixed menu of candidate
+// shapes f(n) via least squares on T ~ a + b*f(n) and report R^2 and the
+// best-fitting shape. A good reproduction shows the paper-predicted shape
+// winning (or statistically tying) the menu.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pramsim::util {
+
+/// Result of an ordinary least-squares fit y ~ intercept + slope * f(x).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double eval(double fx) const { return intercept + slope * fx; }
+};
+
+/// OLS of y against x (both already transformed). Requires >= 2 points.
+[[nodiscard]] LinearFit least_squares(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// A named scaling shape f(n).
+struct ScalingShape {
+  std::string name;
+  double (*f)(double n);
+};
+
+/// The standard menu: 1, log n, log^2 n, log^2 n/log log n, sqrt n, n.
+[[nodiscard]] const std::vector<ScalingShape>& standard_shapes();
+
+/// Fit of one shape to a measured series.
+struct ShapeFit {
+  std::string shape_name;
+  LinearFit fit;
+};
+
+/// Fit every shape in `shapes` to (n_i, y_i); results sorted by descending
+/// R^2, best first. n values must be >= 4 so log log n is defined.
+[[nodiscard]] std::vector<ShapeFit> fit_shapes(
+    std::span<const double> n, std::span<const double> y,
+    const std::vector<ScalingShape>& shapes = standard_shapes());
+
+/// Convenience: name of the best-fitting shape.
+[[nodiscard]] std::string best_shape(std::span<const double> n,
+                                     std::span<const double> y);
+
+}  // namespace pramsim::util

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pramsim::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double SampleSet::percentile(double p) const {
+  PRAMSIM_ASSERT(!xs_.empty());
+  PRAMSIM_ASSERT(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  if (xs_.size() == 1) {
+    return xs_[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) {
+    return xs_.back();
+  }
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double SampleSet::max() const {
+  PRAMSIM_ASSERT(!xs_.empty());
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::mean() const {
+  PRAMSIM_ASSERT(!xs_.empty());
+  double s = 0.0;
+  for (const double x : xs_) {
+    s += x;
+  }
+  return s / static_cast<double>(xs_.size());
+}
+
+Histogram::Histogram(std::size_t max_value) : buckets_(max_value + 1, 0) {}
+
+void Histogram::add(std::uint64_t value) {
+  ++total_;
+  if (value < buckets_.size()) {
+    ++buckets_[value];
+  } else {
+    ++overflow_;
+  }
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  PRAMSIM_ASSERT(i < buckets_.size());
+  return buckets_[i];
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = overflow_;
+  for (const auto b : buckets_) {
+    peak = std::max(peak, b);
+  }
+  if (peak == 0) {
+    return "(empty histogram)\n";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out.append(std::to_string(i));
+    out.append(": ");
+    out.append(std::max<std::size_t>(width, 1), '#');
+    out.append(" (");
+    out.append(std::to_string(buckets_[i]));
+    out.append(")\n");
+  }
+  if (overflow_ > 0) {
+    out.append(">");
+    out.append(std::to_string(buckets_.size() - 1));
+    out.append(": (");
+    out.append(std::to_string(overflow_));
+    out.append(" overflow)\n");
+  }
+  return out;
+}
+
+}  // namespace pramsim::util

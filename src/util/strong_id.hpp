@@ -1,0 +1,63 @@
+// Strong ID types.
+//
+// The simulator juggles many kinds of integer identifiers: processors,
+// memory modules, shared variables, network nodes, variable copies. Mixing
+// them up is the classic P-RAM-simulator bug (a module index used as a
+// variable index silently "works" whenever M <= m). Following
+// CppCoreGuidelines I.4 we wrap each in a distinct strong type; conversion
+// to the raw value is explicit via .value().
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pramsim {
+
+/// CRTP-free strong integer id. `Tag` makes each instantiation a distinct
+/// type; ids are ordered and hashable so they can key standard containers.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  /// Convenience for indexing into std::vector without a cast at call sites.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  value_type value_ = 0;
+};
+
+struct ProcTag {};
+struct ModuleTag {};
+struct VarTag {};
+struct NodeTag {};
+struct ClusterTag {};
+
+/// Index of a P-RAM / simulating-machine processor, 0..n-1.
+using ProcId = StrongId<ProcTag>;
+/// Index of a memory module, 0..M-1.
+using ModuleId = StrongId<ModuleTag>;
+/// Index of a shared P-RAM variable (shared-memory cell), 0..m-1.
+using VarId = StrongId<VarTag>;
+/// Index of a node in a simulated interconnection network.
+using NodeId = StrongId<NodeTag>;
+/// Index of a processor cluster in the UW/LPP protocols.
+using ClusterId = StrongId<ClusterTag>;
+
+}  // namespace pramsim
+
+template <typename Tag>
+struct std::hash<pramsim::StrongId<Tag>> {
+  std::size_t operator()(pramsim::StrongId<Tag> id) const noexcept {
+    return std::hash<typename pramsim::StrongId<Tag>::value_type>{}(
+        id.value());
+  }
+};

@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pramsim::util {
+
+namespace {
+
+std::string format_cell(const Table::Cell& cell, int precision) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  const double d = std::get<double>(cell);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, d);
+  return buf;
+}
+
+bool is_numeric(const Table::Cell& cell) {
+  return !std::holds_alternative<std::string>(cell);
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PRAMSIM_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  PRAMSIM_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(int precision) const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<bool> numeric(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c], precision));
+      widths[c] = std::max(widths[c], cells.back().size());
+      if (!is_numeric(row[c])) {
+        numeric[c] = false;
+      }
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << "== " << title_ << " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = widths[c] - cells[c].size();
+      out << ' ';
+      if (numeric[c]) {
+        out << std::string(pad, ' ') << cells[c];
+      } else {
+        out << cells[c] << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (const auto w : widths) {
+      out << std::string(w + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rendered) {
+    emit_row(row);
+  }
+  emit_rule();
+  return out.str();
+}
+
+std::string Table::to_csv(int precision) const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << format_cell(row[c], precision)
+          << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return out.str();
+}
+
+void Table::print(int precision) const {
+  std::fputs(to_string(precision).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace pramsim::util

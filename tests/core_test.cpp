@@ -1,0 +1,300 @@
+// Tests for the scheme factory, the 2DMOT engine, the trace driver, and
+// cross-scheme end-to-end equivalence: the same P-RAM programs must
+// produce bit-identical results on the ideal machine and on every
+// simulating machine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/mot_engine.hpp"
+#include "core/schemes.hpp"
+#include "majority/majority_memory.hpp"
+#include "memmap/memory_map.hpp"
+#include "pram/machine.hpp"
+#include "pram/programs.hpp"
+#include "pram/trace.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pramsim::core {
+namespace {
+
+using majority::VarRequest;
+
+std::vector<VarRequest> distinct_requests(std::uint32_t count, std::uint64_t m,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto vars = rng.sample_without_replacement(m, count);
+  std::vector<VarRequest> reqs;
+  reqs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
+  }
+  return reqs;
+}
+
+// --------------------------------------------------------- factory ------
+
+TEST(Schemes, HpMotGeometryAndConstantRedundancy) {
+  for (const std::uint32_t n : {16u, 64u, 256u}) {
+    const auto inst = make_scheme({.kind = SchemeKind::kHpMot, .n = n});
+    EXPECT_EQ(inst.n_modules, n * n) << n;       // side = n at eps = 1
+    EXPECT_EQ(inst.r, 7u) << n;                  // constant in n
+    EXPECT_NEAR(inst.eps_effective, 1.0, 1e-9);
+    EXPECT_GT(inst.switches, 0u);
+    // O(M) switches: 2M-ish.
+    EXPECT_LT(inst.switches, 2ull * inst.n_modules);
+    EXPECT_EQ(inst.request_hops, 3u * static_cast<std::uint32_t>(util::ilog2_ceil(n)) + 1);
+  }
+}
+
+TEST(Schemes, UwMpcRedundancyGrowsWithN) {
+  const auto small = make_scheme({.kind = SchemeKind::kUwMpc, .n = 64});
+  const auto large = make_scheme({.kind = SchemeKind::kUwMpc, .n = 4096});
+  EXPECT_GT(large.r, small.r);
+  EXPECT_EQ(small.n_modules, 64u);  // M = n: the MPC constraint
+  EXPECT_EQ(large.n_modules, 4096u);
+}
+
+TEST(Schemes, LppUsesLogRedundancyOnNModules) {
+  const auto inst = make_scheme({.kind = SchemeKind::kLppMot, .n = 64});
+  EXPECT_EQ(inst.n_modules, 64u);
+  EXPECT_GT(inst.r, 7u);  // log-ish redundancy at m = 4096
+  EXPECT_GT(inst.switches, 0u);
+}
+
+TEST(Schemes, CrossbarPaysSwitchesForGranularity) {
+  const auto hp = make_scheme({.kind = SchemeKind::kHpMot, .n = 64});
+  const auto xbar = make_scheme({.kind = SchemeKind::kCrossbar, .n = 64});
+  EXPECT_EQ(xbar.r, hp.r);              // same constant redundancy
+  EXPECT_GT(xbar.switches, hp.switches);  // O(nM) vs O(M)
+}
+
+TEST(Schemes, DmmpcHonorsEpsilon) {
+  const auto coarse =
+      make_scheme({.kind = SchemeKind::kDmmpc, .n = 256, .eps = 0.5});
+  const auto fine =
+      make_scheme({.kind = SchemeKind::kDmmpc, .n = 256, .eps = 1.5});
+  EXPECT_LT(coarse.n_modules, fine.n_modules);
+  EXPECT_GE(coarse.r, fine.r);  // finer granularity => no more copies
+}
+
+// ------------------------------------------------------- MOT engine -----
+
+TEST(MotEngine, EveryRequestReachesThreshold) {
+  auto inst = make_scheme({.kind = SchemeKind::kHpMot, .n = 32});
+  const auto reqs = distinct_requests(32, inst.m, 3);
+  const auto result = inst.engine->run_step(reqs);
+  ASSERT_EQ(result.accessed_mask.size(), reqs.size());
+  for (const auto mask : result.accessed_mask) {
+    EXPECT_GE(static_cast<std::uint32_t>(__builtin_popcountll(mask)), inst.c);
+  }
+  EXPECT_GT(result.time, 0u);
+  EXPECT_GE(result.work, static_cast<std::uint64_t>(inst.c) * reqs.size());
+}
+
+TEST(MotEngine, TimeAtLeastOneRoundTrip) {
+  auto inst = make_scheme({.kind = SchemeKind::kHpMot, .n = 32});
+  const std::vector<VarRequest> reqs = {{VarId(5), ProcId(0)}};
+  const auto result = inst.engine->run_step(reqs);
+  EXPECT_GE(result.time, 2 * inst.request_hops - 1);
+}
+
+TEST(MotEngine, DeterministicAcrossRuns) {
+  auto inst = make_scheme({.kind = SchemeKind::kHpMot, .n = 64});
+  const auto reqs = distinct_requests(64, inst.m, 7);
+  const auto a = inst.engine->run_step(reqs);
+  const auto b = inst.engine->run_step(reqs);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.accessed_mask, b.accessed_mask);
+}
+
+TEST(MotEngine, EmptyStepIsFree) {
+  auto inst = make_scheme({.kind = SchemeKind::kHpMot, .n = 16});
+  const auto result = inst.engine->run_step({});
+  EXPECT_EQ(result.time, 0u);
+  EXPECT_EQ(result.work, 0u);
+}
+
+TEST(MotEngine, LcaTurnaroundNoSlowerOnAverage) {
+  const auto reqs_seed = 9;
+  auto via_root = make_scheme({.kind = SchemeKind::kHpMot, .n = 64});
+  auto via_lca = make_scheme(
+      {.kind = SchemeKind::kHpMot, .n = 64, .lca_turnaround = true});
+  const auto reqs = distinct_requests(64, via_root.m, reqs_seed);
+  const auto t_root = via_root.engine->run_step(reqs).time;
+  const auto t_lca = via_lca.engine->run_step(reqs).time;
+  EXPECT_LE(t_lca, t_root + t_root / 4);  // allow scheduling noise
+}
+
+TEST(MotEngine, AllThreeSchemesComplete) {
+  for (const auto kind :
+       {SchemeKind::kHpMot, SchemeKind::kLppMot, SchemeKind::kCrossbar}) {
+    auto inst = make_scheme({.kind = kind, .n = 16});
+    const auto reqs = distinct_requests(16, inst.m, 11);
+    const auto result = inst.engine->run_step(reqs);
+    for (const auto mask : result.accessed_mask) {
+      EXPECT_GE(static_cast<std::uint32_t>(__builtin_popcountll(mask)),
+                inst.c)
+          << to_string(kind);
+    }
+  }
+}
+
+TEST(MotEngine, Stage1BoundsLiveSet) {
+  auto inst = make_scheme({.kind = SchemeKind::kHpMot, .n = 128});
+  const auto reqs = distinct_requests(128, inst.m, 13);
+  const auto result = inst.engine->run_step(reqs);
+  EXPECT_LE(result.stats.live_after_stage1, 128u / inst.r + 1);
+}
+
+// ---------------------------------------------------------- driver ------
+
+TEST(Driver, ToRequestsDeduplicates) {
+  pram::AccessBatch batch;
+  batch.push_back({ProcId(0), pram::AccessOp::kRead, VarId(5), 0});
+  batch.push_back({ProcId(1), pram::AccessOp::kWrite, VarId(5), 1});
+  batch.push_back({ProcId(2), pram::AccessOp::kRead, VarId(9), 0});
+  const auto reqs = to_requests(batch);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].var, VarId(5));
+  EXPECT_EQ(reqs[0].requester, ProcId(0));  // first requester kept
+  EXPECT_EQ(reqs[1].var, VarId(9));
+}
+
+TEST(Driver, StressAggregatesAllFamilies) {
+  auto inst = make_scheme({.kind = SchemeKind::kDmmpc, .n = 64});
+  const auto result =
+      run_stress(*inst.engine, 64, inst.m, 3, 21,
+                 pram::exclusive_trace_families(), true);
+  // 3 families x 3 steps + 3 adversarial steps.
+  EXPECT_EQ(result.steps, 12u);
+  EXPECT_GT(result.time.mean(), 0.0);
+  EXPECT_GT(result.work.mean(), 0.0);
+}
+
+// ------------------------------------- end-to-end, all schemes ----------
+
+struct EndToEndCase {
+  SchemeKind kind;
+  const char* name;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EndToEndTest, PrefixSumMatchesIdealPram) {
+  const std::uint32_t n = 16;
+  auto spec_ideal = pram::programs::prefix_sum(n);
+  auto spec_sim = pram::programs::prefix_sum(n);
+
+  pram::MachineConfig cfg;
+  cfg.n_processors = n;
+  cfg.m_shared_cells = spec_ideal.m_required;
+  cfg.policy = pram::ConflictPolicy::kErew;
+
+  pram::Machine ideal(cfg, std::move(spec_ideal.program));
+  SchemeSpec scheme{.kind = GetParam().kind,
+                    .n = n,
+                    .seed = 5,
+                    .min_vars = spec_sim.m_required};
+  pram::Machine simulated(cfg, std::move(spec_sim.program),
+                          make_memory(scheme));
+
+  util::Rng rng(1234);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto v = static_cast<pram::Word>(rng.below(100));
+    ideal.poke_shared(VarId(i), v);
+    simulated.poke_shared(VarId(i), v);
+  }
+  const auto a = ideal.run();
+  const auto b = simulated.run();
+  ASSERT_TRUE(a.completed());
+  ASSERT_TRUE(b.completed()) << GetParam().name;
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_GT(b.mem_time, a.mem_time) << "simulation must cost time";
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ideal.shared(VarId(i)), simulated.shared(VarId(i)))
+        << GetParam().name << " cell " << i;
+  }
+}
+
+TEST_P(EndToEndTest, OddEvenSortMatchesIdealPram) {
+  const std::uint32_t n = 8;
+  auto spec_ideal = pram::programs::odd_even_sort(n);
+  auto spec_sim = pram::programs::odd_even_sort(n);
+
+  pram::MachineConfig cfg;
+  cfg.n_processors = n;
+  cfg.m_shared_cells = spec_ideal.m_required;
+  cfg.policy = pram::ConflictPolicy::kErew;
+
+  pram::Machine ideal(cfg, std::move(spec_ideal.program));
+  SchemeSpec scheme{.kind = GetParam().kind,
+                    .n = n,
+                    .seed = 6,
+                    .min_vars = spec_sim.m_required};
+  pram::Machine simulated(cfg, std::move(spec_sim.program),
+                          make_memory(scheme));
+  util::Rng rng(99);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto v = static_cast<pram::Word>(rng.below(50));
+    ideal.poke_shared(VarId(i), v);
+    simulated.poke_shared(VarId(i), v);
+  }
+  ASSERT_TRUE(ideal.run().completed());
+  ASSERT_TRUE(simulated.run(2'000'000).completed()) << GetParam().name;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ideal.shared(VarId(i)), simulated.shared(VarId(i)))
+        << GetParam().name << " cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, EndToEndTest,
+    ::testing::Values(EndToEndCase{SchemeKind::kHpMot, "hp_mot"},
+                      EndToEndCase{SchemeKind::kDmmpc, "dmmpc"},
+                      EndToEndCase{SchemeKind::kUwMpc, "uw_mpc"},
+                      EndToEndCase{SchemeKind::kLppMot, "lpp_mot"},
+                      EndToEndCase{SchemeKind::kCrossbar, "crossbar"}),
+    [](const ::testing::TestParamInfo<EndToEndCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(EndToEnd, CrewListRankOnHpMot) {
+  // CREW program (concurrent reads combined before the protocol runs).
+  const std::uint32_t n = 16;
+  auto spec_ideal = pram::programs::list_rank(n);
+  auto spec_sim = pram::programs::list_rank(n);
+  pram::MachineConfig cfg;
+  cfg.n_processors = n;
+  cfg.m_shared_cells = spec_ideal.m_required;
+  cfg.policy = pram::ConflictPolicy::kCrew;
+  pram::Machine ideal(cfg, std::move(spec_ideal.program));
+  pram::Machine simulated(
+      cfg, std::move(spec_sim.program),
+      make_memory({.kind = SchemeKind::kHpMot,
+                   .n = n,
+                   .seed = 8,
+                   .min_vars = spec_sim.m_required}));
+  util::Rng rng(7);
+  const auto order = rng.permutation(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const auto node = order[pos];
+    const auto succ = pos + 1 < n ? order[pos + 1] : node;
+    for (auto* machine : {&ideal, &simulated}) {
+      machine->poke_shared(VarId(node), succ);
+      machine->poke_shared(VarId(n + node), pos + 1 < n ? 1 : 0);
+    }
+  }
+  ASSERT_TRUE(ideal.run().completed());
+  ASSERT_TRUE(simulated.run().completed());
+  for (std::uint32_t i = 0; i < 2 * n; ++i) {
+    EXPECT_EQ(ideal.shared(VarId(i)), simulated.shared(VarId(i))) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pramsim::core

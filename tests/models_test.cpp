@@ -1,0 +1,125 @@
+// Tests for the machine-model descriptors and VLSI area accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/machine_models.hpp"
+#include "models/vlsi.hpp"
+
+namespace pramsim::models {
+namespace {
+
+// ---------------------------------------------------- machine models ----
+
+TEST(MachineModels, FigureOrderAndNames) {
+  const auto all = describe_all(64, 4096, 4096);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_STREQ(to_string(all[0].model), "P-RAM");
+  EXPECT_STREQ(to_string(all[1].model), "MPC");
+  EXPECT_STREQ(to_string(all[2].model), "BDN");
+  EXPECT_STREQ(to_string(all[3].model), "DMMPC");
+  EXPECT_STREQ(to_string(all[4].model), "DMBDN");
+}
+
+TEST(MachineModels, OnlyBdnAndDmbdnAreBoundedDegree) {
+  const auto all = describe_all(64, 4096, 4096);
+  EXPECT_FALSE(all[0].bounded_degree);  // P-RAM
+  EXPECT_FALSE(all[1].bounded_degree);  // MPC: K_n
+  EXPECT_TRUE(all[2].bounded_degree);   // BDN
+  EXPECT_FALSE(all[3].bounded_degree);  // DMMPC: K_{n,M}
+  EXPECT_TRUE(all[4].bounded_degree);   // DMBDN
+}
+
+TEST(MachineModels, GranularityDiffersBetweenMpcAndDmmpc) {
+  const std::uint64_t n = 256;
+  const std::uint64_t m = n * n;
+  const auto mpc = describe(MachineModel::kMpc, n, m);
+  const auto dmmpc = describe(MachineModel::kDmmpc, n, m, /*M=*/m);
+  // MPC: coarse modules of m/n cells; DMMPC at M=m: single-cell granules.
+  EXPECT_DOUBLE_EQ(mpc.module_cells, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(dmmpc.module_cells, 1.0);
+  EXPECT_GT(dmmpc.memory_modules, mpc.memory_modules);
+}
+
+TEST(MachineModels, EdgeCountsMatchDefinitions) {
+  const auto mpc = describe(MachineModel::kMpc, 10, 100);
+  EXPECT_EQ(mpc.interconnect_edges, 45u);  // K_10
+  const auto dmmpc = describe(MachineModel::kDmmpc, 10, 100, 30);
+  EXPECT_EQ(dmmpc.interconnect_edges, 300u);  // K_{10,30}
+  const auto bdn = describe(MachineModel::kBdn, 10, 100, 0, 4);
+  EXPECT_EQ(bdn.interconnect_edges, 20u);  // degree 4
+}
+
+TEST(MachineModels, DmbdnIntroducesSwitchesOthersDoNot) {
+  const auto all = describe_all(64, 4096, 1024);
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_EQ(all[i].switches, 0u) << to_string(all[i].model);
+  }
+  EXPECT_GT(all[4].switches, 0u);
+  EXPECT_LE(all[4].switches, 2u * 1024u);  // O(M)
+}
+
+// --------------------------------------------------------------- VLSI ---
+
+TEST(Vlsi, MotLayoutAreaMatchesLeightonShape) {
+  // area(N) / N^2 should grow like log^2 N for unit leaves.
+  double prev_ratio = 0.0;
+  for (const std::uint64_t side : {16u, 64u, 256u, 1024u}) {
+    const double area = mot_layout_area(side, 1.0);
+    const double n2 = static_cast<double>(side) * static_cast<double>(side);
+    const double ratio = area / n2;
+    EXPECT_GT(ratio, prev_ratio);  // superlinear in N^2
+    prev_ratio = ratio;
+    const double logn = std::log2(static_cast<double>(side));
+    // ratio ~ (1 + log N)^2: within a factor 4 of log^2 N.
+    EXPECT_LT(ratio, 4.0 * (1.0 + logn) * (1.0 + logn));
+  }
+}
+
+TEST(Vlsi, BigLeavesDominateSmallNetworks) {
+  // With leaf area >> log^2 N the leaves dominate: area ~ N^2 * A_leaf.
+  const double area = mot_layout_area(16, 10'000.0);
+  EXPECT_NEAR(area / (16.0 * 16.0 * 10'000.0), 1.0, 0.25);
+}
+
+TEST(Vlsi, ModuleAreaHasDecoderOverhead) {
+  const double tiny = module_area(1.0, 1024);
+  const double big = module_area(1024.0, 1024);
+  // Decoder overhead is visible for tiny granules...
+  EXPECT_GT(tiny, 64.0);  // > pure cell area of one 64-bit word
+  // ...but amortized away for large ones.
+  EXPECT_LT(big / (1024.0 * 64.0), 1.01);
+}
+
+TEST(Vlsi, MemoryAreaOverheadConstantOnceGranuleBigEnough) {
+  // The paper: with g = Omega(log^2 n), simulator memory area is Theta(m).
+  const std::uint32_t r = 7;
+  const std::uint64_t n = 1024;
+  const std::uint64_t m = n * n;
+  // g = r*m/M; choose M so g ~ log^2 n = 100: M = r*m/100.
+  const std::uint64_t M_coarse = r * m / 128;
+  const double overhead_ok = memory_area_overhead(m, r, M_coarse);
+  // r copies of every variable => at least r times the P-RAM's area, but
+  // not much more than that once the granule amortizes the decoders.
+  EXPECT_GE(overhead_ok, static_cast<double>(r) * 0.9);
+  EXPECT_LE(overhead_ok, static_cast<double>(r) * 3.0);
+}
+
+TEST(Vlsi, SingleCellGranulesWasteArea) {
+  // g = r (M = m): per-module decoder overhead is paid m times, so the
+  // overhead factor visibly exceeds the g = log^2 n configuration.
+  const std::uint32_t r = 7;
+  const std::uint64_t n = 1024;
+  const std::uint64_t m = n * n;
+  const double fine = memory_area_overhead(m, r, /*M=*/m);
+  const double coarse = memory_area_overhead(m, r, /*M=*/r * m / 128);
+  EXPECT_GT(fine, coarse);
+}
+
+TEST(Vlsi, PerimeterBandwidthIsSqrtM) {
+  EXPECT_DOUBLE_EQ(perimeter_bandwidth(1024), 4.0 * 32.0);
+  EXPECT_DOUBLE_EQ(perimeter_bandwidth(65536), 4.0 * 256.0);
+}
+
+}  // namespace
+}  // namespace pramsim::models
