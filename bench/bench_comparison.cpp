@@ -2,168 +2,67 @@
 // implies (its §1 tours UW'87, KU'86, Ranade, HB'88, LPP'90, Schuster/
 // Rabin before presenting the DMBDN schemes).
 //
-// Every implemented scheme serves the same stress traffic at n = 128;
-// formula-only rows (Herley-Bilardi, Karlin-Upfal, Ranade) are included
+// Every implemented organization serves the same stress traffic at
+// n = 128 through the one scheme-agnostic SimulationPipeline — one loop,
+// no per-scheme branching; formula-only rows (Karlin-Upfal) are included
 // for context with their paper-stated bounds and marked as such.
 #include <cmath>
 #include <cstdio>
-#include <vector>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
-#include "core/context_engines.hpp"
-#include "hashing/mv_memory.hpp"
-#include "ida/ida_memory.hpp"
-#include "memmap/params.hpp"
-#include "pram/trace.hpp"
-#include "util/math.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace pramsim;
 
-namespace {
-
-/// Run the standard stress traffic through a MemorySystem (for the
-/// schemes that are not AccessEngines: IDA, MV hashing).
-double mean_time_memory_system(pram::MemorySystem& memory, std::uint32_t n,
-                               std::uint64_t m, std::uint64_t seed) {
-  util::Rng rng(seed);
-  util::RunningStats stats;
-  for (const auto family : pram::exclusive_trace_families()) {
-    for (int s = 0; s < 3; ++s) {
-      const auto batch = pram::make_batch(family, n, m, rng);
-      std::vector<VarId> reads;
-      std::vector<pram::VarWrite> writes;
-      for (const auto& acc : batch) {
-        if (acc.op == pram::AccessOp::kRead) {
-          reads.push_back(acc.var);
-        } else {
-          writes.push_back({acc.var, acc.value});
-        }
-      }
-      std::vector<pram::Word> values(reads.size());
-      const auto cost = memory.step(reads, values, writes);
-      stats.add(static_cast<double>(cost.time));
-    }
-  }
-  return stats.mean();
-}
-
-}  // namespace
-
 int main() {
-  bench::banner("C1", "implied comparison table (paper §1)",
-                "the paper's scheme is the first deterministic polylog "
-                "simulation with Theta(1) redundancy on a feasible network");
+  bench::Reporter reporter(
+      "C1", "implied comparison table (paper §1)",
+      "the paper's scheme is the first deterministic polylog "
+      "simulation with Theta(1) redundancy on a feasible network");
 
   const std::uint32_t n = 128;
-  const std::uint64_t m = static_cast<std::uint64_t>(n) * n;
-  const double logn = std::log2(static_cast<double>(n));
-  const double logm = std::log2(static_cast<double>(m));
 
-  util::Table table({"scheme", "model", "deterministic", "redundancy",
-                     "time/step (measured or stated)", "switches",
+  util::Table table({"scheme", "model", "deterministic", "storage factor",
+                     "time/step", "redundancy-weighted", "switches",
                      "source"});
-  table.set_title("all schemes at n = 128, m = n^2");
+  table.set_title("all schemes at n = 128, m = n^2, same stress traffic");
 
-  // --- measured rows ---------------------------------------------------
-  for (const auto kind :
-       {core::SchemeKind::kUwMpc, core::SchemeKind::kAltBdn,
-        core::SchemeKind::kDmmpc, core::SchemeKind::kLppMot,
-        core::SchemeKind::kCrossbar, core::SchemeKind::kHpMot}) {
-    auto inst = core::make_scheme({.kind = kind, .n = n, .seed = 33});
-    const auto res = core::run_stress(*inst.engine, n, inst.m, 3, 44,
-                                      pram::exclusive_trace_families(), true);
-    const char* model = kind == core::SchemeKind::kUwMpc ? "MPC"
-                        : kind == core::SchemeKind::kAltBdn
-                            ? "BDN (sorting)"
-                        : kind == core::SchemeKind::kDmmpc
-                            ? "DMMPC"
-                            : "DMBDN (2DMOT)";
-    table.add_row({std::string(core::to_string(kind)), std::string(model),
-                   std::string("yes"),
-                   std::string("r = " + std::to_string(inst.r)),
-                   res.time.mean(),
-                   static_cast<std::int64_t>(inst.switches),
-                   std::string("measured")});
-  }
-
-  // --- Schuster / Rabin IDA -------------------------------------------
-  {
-    const auto b = static_cast<std::uint32_t>(logn);  // Theta(log n)
-    ida::IdaMemory memory(
-        m, {.b = b, .d = 2 * b, .n_modules = 1024, .seed = 3});
-    const double t = mean_time_memory_system(memory, n, m, 55);
-    table.add_row({std::string("Schuster-IDA"), std::string("DMMPC"),
-                   std::string("yes"),
-                   std::string("storage x" +
-                               std::to_string(memory.storage_factor())),
-                   t, static_cast<std::int64_t>(0),
-                   std::string("measured; + Theta(log n) work/access")});
-  }
-
-  // --- Mehlhorn-Vishkin hashing -----------------------------------------
-  {
-    hashing::MvMemory memory(m, {.n_modules = n, .k_wise = 2, .seed = 5});
-    const double t = mean_time_memory_system(memory, n, m, 66);
-    table.add_row({std::string("MV-hashing"), std::string("MPC"),
-                   std::string("no (probabilistic)"), std::string("r = 1"),
-                   t, static_cast<std::int64_t>(0),
-                   std::string("measured; adversary can force n rounds")});
-  }
-
-  // --- Herley-Bilardi on a concrete random-regular expander -------------
-  {
-    const auto c = core::hb_c(m);
-    auto map = std::make_shared<memmap::HashedMap>(m, n, 2 * c - 1, 5);
-    majority::SchedulerConfig cfg;
-    cfg.c = c;
-    cfg.cluster_size = 2 * c - 1;
-    cfg.n_processors = n;
-    core::HbExpanderEngine engine(map, cfg, /*graph_degree=*/6,
-                                  /*graph_seed=*/9);
-    const auto res = core::run_stress(engine, n, m, 3, 77,
-                                      pram::exclusive_trace_families(), true);
-    table.add_row(
-        {std::string("Herley-Bilardi'88"), std::string("BDN (expander)"),
-         std::string("yes"),
-         std::string("r = " + std::to_string(2 * c - 1) +
-                     " (log m/loglog m)"),
-         res.time.mean(), static_cast<std::int64_t>(0),
-         std::string("measured on a random 6-regular expander (diam " +
-                     std::to_string(engine.cycles_per_round()) + ")")});
-  }
-
-  // --- Ranade on a concrete butterfly ------------------------------------
-  {
-    auto map = std::shared_ptr<memmap::MemoryMap>(
-        memmap::make_single_copy_map(m, n, 5));
-    core::RanadeButterflyEngine engine(map, n);
-    const auto res = core::run_stress(engine, n, m, 3, 88,
-                                      pram::exclusive_trace_families(),
-                                      false);
-    table.add_row({std::string("Ranade'87"), std::string("BDN (butterfly)"),
-                   std::string("no (probabilistic)"), std::string("r = 1"),
-                   res.time.mean(), static_cast<std::int64_t>(0),
-                   std::string("measured (dilation+congestion); no "
-                               "worst-case bound")});
+  for (const auto kind : core::all_scheme_kinds()) {
+    core::SimulationPipeline pipeline({.kind = kind, .n = n, .seed = 33});
+    const auto& scheme = pipeline.scheme();
+    // Identical traffic for every row: map-adversarial batches are
+    // excluded because the mapless schemes (kHashed) cannot serve them,
+    // and a cross-scheme mean is only comparable over the same steps.
+    const auto res = pipeline.run_stress(
+        {.steps_per_family = 3, .seed = 44,
+         .include_map_adversarial = false});
+    table.add_row({scheme.name, std::string(scheme.model),
+                   std::string(scheme.deterministic ? "yes"
+                                                    : "no (probabilistic)"),
+                   scheme.storage_factor, res.time.mean(),
+                   res.redundancy_weighted_cost(),
+                   static_cast<std::int64_t>(scheme.switches),
+                   std::string(scheme.notes)});
   }
 
   // --- formula-only context row ------------------------------------------
   table.add_row({std::string("Karlin-Upfal'86"), std::string("BDN"),
-                 std::string("no (probabilistic)"), std::string("r = O(1)"),
-                 0.0, static_cast<std::int64_t>(0),
-                 std::string("stated: O(log n) expected (not built)")});
-  table.print(1);
-  (void)logm;
+                 std::string("no (probabilistic)"), std::string("O(1)"),
+                 std::string("O(log n) expected"), std::string("-"),
+                 static_cast<std::int64_t>(0),
+                 std::string("stated bound only (not built)")});
+  reporter.table(table, 1);
 
   std::printf(
       "\nThe reproduction of the paper's position: among DETERMINISTIC\n"
       "schemes, only HP-DMMPC / HP-2DMOT / HP-crossbar hold redundancy\n"
       "constant, and HP-2DMOT does so on a bounded-degree network with\n"
       "only O(M) switches. IDA matches constant *storage* but pays\n"
-      "Theta(log n)-fold work; hashing matches r = 1 but loses determinism.\n");
+      "Theta(log n)-fold work; hashing matches r = 1 but loses determinism.\n"
+      "The redundancy-weighted column prices each scheme's time in the\n"
+      "memory it actually consumes.\n");
   return 0;
 }

@@ -18,10 +18,11 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("G1", "Section 2 (granularity -> redundancy)",
-                "raising M from n to n^(1+eps) drops the required "
-                "redundancy from Theta(log m/loglog m) to the constant "
-                "(bk-eps)/(eps(b-2))");
+  bench::Reporter reporter(
+      "G1", "Section 2 (granularity -> redundancy)",
+      "raising M from n to n^(1+eps) drops the required "
+      "redundancy from Theta(log m/loglog m) to the constant "
+      "(bk-eps)/(eps(b-2))");
 
   const std::uint32_t n = 1024;
   {
@@ -30,11 +31,10 @@ int main() {
     table.set_title("granularity sweep at n = 1024, k = 2, b = 4 (DMMPC)");
     for (const double eps : {0.25, 0.5, 0.75, 1.0}) {
       const auto params = memmap::derive_params(n, 2.0, eps, 4.0);
-      auto inst = core::make_scheme(
+      core::SimulationPipeline pipeline(
           {.kind = core::SchemeKind::kDmmpc, .n = n, .eps = eps, .seed = 7});
       const auto res =
-          core::run_stress(*inst.engine, n, inst.m, 3, 11,
-                           pram::exclusive_trace_families(), true);
+          pipeline.run_stress({.steps_per_family = 3, .seed = 11});
       const double bad = memmap::bad_map_log2_union_bound(
           n, static_cast<double>(params.m),
           static_cast<double>(params.n_modules), params.c, 4.0);
@@ -43,7 +43,7 @@ int main() {
                      static_cast<std::int64_t>(params.r), bad,
                      res.time.mean()});
     }
-    table.print(2);
+    reporter.table(table, 2);
     std::printf(
         "\nAs eps rises (finer granules), the Lemma 2 constant c falls and\n"
         "with it the redundancy — at constant measured round counts. The\n"
@@ -58,17 +58,17 @@ int main() {
     for (const double b : {3.0, 4.0, 6.0, 8.0, 16.0}) {
       const auto c = memmap::lemma2_min_c(b, 2.0, 1.0);
       const auto r = 2 * c - 1;
-      auto inst = core::make_scheme(
+      core::SimulationPipeline pipeline(
           {.kind = core::SchemeKind::kDmmpc, .n = n, .b = b, .seed = 7});
-      const auto res =
-          core::run_stress(*inst.engine, n, inst.m, 3, 11,
-                           pram::exclusive_trace_families(), false);
+      const auto res = pipeline.run_stress(
+          {.steps_per_family = 3, .seed = 11,
+           .include_map_adversarial = false});
       table.add_row({b, static_cast<std::int64_t>(c),
                      static_cast<std::int64_t>(r),
                      std::string("(2c-1)q/" + std::to_string(b)),
                      res.time.mean()});
     }
-    table.print(1);
+    reporter.table(table, 1);
     std::printf(
         "\nb trades map quality against copies: larger b accepts weaker\n"
         "expansion and buys smaller r; the protocol stays fast because the\n"

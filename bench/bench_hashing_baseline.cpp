@@ -20,10 +20,11 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("P1", "probabilistic baseline (MV'84, §1/§2 context)",
-                "hashing achieves r = 1 and O(log n/loglog n) expected "
-                "congestion, but only deterministic schemes bound the "
-                "worst case");
+  bench::Reporter reporter(
+      "P1", "probabilistic baseline (MV'84, §1/§2 context)",
+      "hashing achieves r = 1 and O(log n/loglog n) expected "
+      "congestion, but only deterministic schemes bound the "
+      "worst case");
 
   util::Table table({"n", "mean max-load", "p99-ish (max of 30)",
                      "adversarial load (2^20-var scan)",
@@ -62,18 +63,17 @@ int main() {
         static_cast<double>(std::min<std::size_t>(hottest, n));
 
     // Deterministic comparison point.
-    auto hp = core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = n});
-    const auto det = core::run_stress(*hp.engine, n, hp.m, 2, 3,
-                                      pram::exclusive_trace_families(), true);
+    core::SimulationPipeline hp({.kind = core::SchemeKind::kDmmpc, .n = n});
+    const auto det = hp.run_stress({.steps_per_family = 2, .seed = 3});
 
     ns.push_back(n);
     means.push_back(loads.mean());
     table.add_row({static_cast<std::int64_t>(n), loads.mean(), loads.max(),
                    adversarial, det.time.max()});
   }
-  table.print(2);
+  reporter.table(table, 2);
   std::printf("\n");
-  bench::report_fit("MV mean max-load", ns, means, "log n");
+  reporter.fit("MV mean max-load", ns, means, "log n");
   std::printf(
       "(log n and log n/loglog n are within the menu's resolution at these\n"
       "n; the point is the contrast columns: random traffic behaves, the\n"
@@ -105,7 +105,7 @@ int main() {
                             static_cast<std::int64_t>(50),
                             static_cast<std::int64_t>(memory.rehashes())});
     }
-    rehash_table.print(0);
+    reporter.table(rehash_table, 0);
     std::printf(
         "Tight thresholds trigger frequent (expensive) migrations — the\n"
         "hidden cost of chasing deterministic-like guarantees with hashing.\n");

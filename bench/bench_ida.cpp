@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/driver.hpp"
 #include "ida/dispersal.hpp"
 #include "ida/ida_memory.hpp"
 #include "pram/trace.hpp"
@@ -22,46 +23,39 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("I1", "Schuster'87 / Rabin'89 IDA alternative (§1)",
-                "b,d = Theta(log n): memory grows by a constant factor but "
-                "Theta(log n) variables are processed per access");
+  bench::Reporter reporter(
+      "I1", "Schuster'87 / Rabin'89 IDA alternative (§1)",
+      "b,d = Theta(log n): memory grows by a constant factor but "
+      "Theta(log n) variables are processed per access");
 
   // ---- Table 1: the storage/work trade --------------------------------
   {
     util::Table table({"n", "b", "d", "storage factor",
                        "work amplification", "rounds/step"});
     table.set_title("IDA block memory under permutation traffic "
-                    "(m = n^2, M = 1024 modules)");
+                    "(m = n^2, M = n^(1+eps) modules)");
     for (const std::uint32_t n : {64u, 256u, 1024u}) {
+      core::SimulationPipeline pipeline(
+          {.kind = core::SchemeKind::kIda, .n = n, .seed = 3});
       const auto b = static_cast<std::uint32_t>(util::ilog2_ceil(n));
-      const std::uint64_t m = static_cast<std::uint64_t>(n) * n;
-      ida::IdaMemory memory(
-          m, {.b = b, .d = 2 * b, .n_modules = 1024, .seed = 3});
       util::Rng rng(9);
       util::RunningStats rounds;
       for (int s = 0; s < 6; ++s) {
-        const auto batch =
-            pram::make_batch(pram::TraceFamily::kPermutation, n, m, rng);
-        std::vector<VarId> reads;
-        std::vector<pram::VarWrite> writes;
-        for (const auto& acc : batch) {
-          if (acc.op == pram::AccessOp::kRead) {
-            reads.push_back(acc.var);
-          } else {
-            writes.push_back({acc.var, acc.value});
-          }
-        }
-        std::vector<pram::Word> values(reads.size());
-        rounds.add(static_cast<double>(
-            memory.step(reads, values, writes).time));
+        const auto batch = pram::make_batch(pram::TraceFamily::kPermutation,
+                                            n, pipeline.scheme().m, rng);
+        rounds.add(static_cast<double>(pipeline.run_batch(batch).time));
       }
+      // Scheme-level accounting lives on the IDA memory itself.
+      const auto* memory = dynamic_cast<const ida::IdaMemory*>(
+          pipeline.scheme().memory.get());
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(b),
                      static_cast<std::int64_t>(2 * b),
-                     memory.storage_factor(), memory.work_amplification(),
+                     pipeline.scheme().storage_factor,
+                     memory != nullptr ? memory->work_amplification() : 0.0,
                      rounds.mean()});
     }
-    table.print(2);
+    reporter.table(table, 2);
     std::printf(
         "\nContrast with the paper's scheme: HP replication stores r = 7\n"
         "copies (storage x7, work amplification 1 variable per access);\n"
@@ -103,7 +97,7 @@ int main() {
                      static_cast<std::int64_t>(trials),
                      static_cast<std::int64_t>(successes)});
     }
-    table.print(0);
+    reporter.table(table, 0);
   }
 
   // ---- Table 3: coding throughput -------------------------------------
@@ -149,7 +143,7 @@ int main() {
         std::printf("!\n");
       }
     }
-    table.print(2);
+    reporter.table(table, 2);
   }
   return 0;
 }

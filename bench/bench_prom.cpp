@@ -28,10 +28,11 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("X1", "conclusion: the P-ROM proposal, implemented",
-                "simulating a P-ROM reduces total look-up storage from "
-                "O(mn log rm) to O(m log rm) bits, at the price of one "
-                "routed lookup phase per step");
+  bench::Reporter reporter(
+      "X1", "conclusion: the P-ROM proposal, implemented",
+      "simulating a P-ROM reduces total look-up storage from "
+      "O(mn log rm) to O(m log rm) bits, at the price of one "
+      "routed lookup phase per step");
 
   // ---- storage accounting --------------------------------------------
   {
@@ -48,7 +49,7 @@ int main() {
                      static_cast<std::int64_t>(bits.prom_total),
                      bits.reduction_factor, std::string("0 bits (O(r) ops)")});
     }
-    table.print(0);
+    reporter.table(table, 0);
     std::printf("\n");
   }
 
@@ -62,18 +63,18 @@ int main() {
     std::vector<double> ns;
     std::vector<double> overhead;
     for (const std::uint32_t n : {16u, 32u, 64u, 128u, 256u}) {
-      auto base = core::make_scheme(
+      core::SimulationPipeline base(
           {.kind = core::SchemeKind::kHpMot, .n = n, .seed = 5});
-      auto prom = core::make_scheme({.kind = core::SchemeKind::kHpMot,
+      core::SimulationPipeline prom({.kind = core::SchemeKind::kHpMot,
                                      .n = n,
                                      .seed = 5,
                                      .prom_lookup = true});
-      const auto rb = core::run_stress(*base.engine, n, base.m, 3, 21,
-                                       pram::exclusive_trace_families(),
-                                       false);
-      const auto rp = core::run_stress(*prom.engine, n, prom.m, 3, 21,
-                                       pram::exclusive_trace_families(),
-                                       false);
+      const auto rb = base.run_stress(
+          {.steps_per_family = 3, .seed = 21,
+           .include_map_adversarial = false});
+      const auto rp = prom.run_stress(
+          {.steps_per_family = 3, .seed = 21,
+           .include_map_adversarial = false});
       const double extra = rp.time.mean() - rb.time.mean();
       ns.push_back(n);
       overhead.push_back(extra);
@@ -81,10 +82,9 @@ int main() {
                      rp.time.mean(), extra,
                      extra / rb.time.mean()});
     }
-    table.print(2);
+    reporter.table(table, 2);
     std::printf("\n");
-    bench::report_fit("P-ROM lookup overhead (cycles)", ns, overhead,
-                      "log n");
+    reporter.fit("P-ROM lookup overhead (cycles)", ns, overhead, "log n");
     std::printf(
         "The lookup phase costs one routed round trip per request —\n"
         "O(log n) cycles plus contention — i.e. a constant-factor\n"

@@ -31,20 +31,20 @@ struct SeriesPoint {
 
 SeriesPoint measure(core::SchemeKind kind, std::uint32_t n,
                     std::size_t steps_per_family) {
-  auto inst = core::make_scheme({.kind = kind, .n = n, .seed = 13});
-  const auto result =
-      core::run_stress(*inst.engine, n, inst.m, steps_per_family,
-                       /*seed=*/515, pram::exclusive_trace_families(), true);
-  return {n, inst.r, result.time.mean(), result.time.max(),
+  core::SimulationPipeline pipeline({.kind = kind, .n = n, .seed = 13});
+  const auto result = pipeline.run_stress(
+      {.steps_per_family = steps_per_family, .seed = 515});
+  return {n, pipeline.scheme().r, result.time.mean(), result.time.max(),
           result.work.mean()};
 }
 
 }  // namespace
 
 int main() {
-  bench::banner("T2", "Theorem 2 (DMMPC upper bound)",
-                "an arbitrary P-RAM step simulates on a DMMPC with "
-                "M = n^(1+eps) in O(log n) time with r = O(1)");
+  bench::Reporter reporter(
+      "T2", "Theorem 2 (DMMPC upper bound)",
+      "an arbitrary P-RAM step simulates on a DMMPC with "
+      "M = n^(1+eps) in O(log n) time with r = O(1)");
 
   const std::size_t steps = 4;
   util::Table table({"n", "scheme", "r", "mean rounds", "max rounds",
@@ -68,11 +68,11 @@ int main() {
                    static_cast<std::int64_t>(uw.r), uw.mean_rounds,
                    uw.max_rounds, uw.mean_work});
   }
-  table.print(1);
+  reporter.table(table, 1);
   std::printf("\n");
 
-  bench::report_fit("HP-DMMPC rounds/step", ns, hp_mean, "log n");
-  bench::report_fit("UW-MPC rounds/step", ns, uw_mean, "log n");
+  reporter.fit("HP-DMMPC rounds/step", ns, hp_mean, "log n");
+  reporter.fit("UW-MPC rounds/step", ns, uw_mean, "log n");
 
   std::printf(
       "Who wins: HP-DMMPC holds r = 7 at every n while UW-MPC's r grows\n"
@@ -122,7 +122,7 @@ int main() {
                      static_cast<std::int64_t>(curve.back()),
                      static_cast<double>(curve.back()) / n});
     }
-    decay.print(4);
+    reporter.table(decay, 4);
     std::printf(
         "The live set collapses by a constant factor per protocol sweep —\n"
         "the geometric progress the Lemma 2 expansion guarantees.\n\n");
@@ -134,20 +134,18 @@ int main() {
     ablation.set_title(
         "ablation: two-stage cluster protocol vs unbounded parallelism");
     for (const std::uint32_t n : {256u, 1024u, 4096u}) {
-      auto clustered =
-          core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = n});
-      auto flat = core::make_scheme(
+      core::SimulationPipeline clustered(
+          {.kind = core::SchemeKind::kDmmpc, .n = n});
+      core::SimulationPipeline flat(
           {.kind = core::SchemeKind::kDmmpc, .n = n, .all_at_once = true});
-      const auto rc = core::run_stress(*clustered.engine, n, clustered.m, 3,
-                                       99, pram::exclusive_trace_families(),
-                                       false);
-      const auto rf = core::run_stress(*flat.engine, n, flat.m, 3, 99,
-                                       pram::exclusive_trace_families(),
-                                       false);
+      const auto rc = clustered.run_stress(
+          {.steps_per_family = 3, .seed = 99, .include_map_adversarial = false});
+      const auto rf = flat.run_stress(
+          {.steps_per_family = 3, .seed = 99, .include_map_adversarial = false});
       ablation.add_row({static_cast<std::int64_t>(n), rc.time.mean(),
                         rf.time.mean()});
     }
-    ablation.print(1);
+    reporter.table(ablation, 1);
     std::printf(
         "All-at-once is the information-theoretic floor; the cluster\n"
         "protocol (what n processors can actually execute) tracks it\n"

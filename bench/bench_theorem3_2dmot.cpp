@@ -36,17 +36,17 @@ struct Point {
 
 Point measure(core::SchemeKind kind, std::uint32_t n,
               std::size_t steps_per_family) {
-  auto inst = core::make_scheme({.kind = kind, .n = n, .seed = 17});
-  const auto result =
-      core::run_stress(*inst.engine, n, inst.m, steps_per_family,
-                       /*seed=*/808, pram::exclusive_trace_families(), true);
-  return {inst.r, inst.switches, result.time.mean(), result.time.max()};
+  core::SimulationPipeline pipeline({.kind = kind, .n = n, .seed = 17});
+  const auto result = pipeline.run_stress(
+      {.steps_per_family = steps_per_family, .seed = 808});
+  return {pipeline.scheme().r, pipeline.scheme().switches,
+          result.time.mean(), result.time.max()};
 }
 
 }  // namespace
 
 int main() {
-  bench::banner(
+  bench::Reporter reporter(
       "T3", "Theorem 3 (the 2DMOT scheme) — headline result",
       "a sqrt(M) x sqrt(M) 2DMOT with M = n^(1+eps) modules at the leaves "
       "simulates a P-RAM step deterministically in O(log^2 n/log log n) "
@@ -80,15 +80,15 @@ int main() {
     add("LPP-2DMOT", lpp);
     add("HP-crossbar", xbar);
   }
-  table.print(1);
+  reporter.table(table, 1);
   std::printf("\n");
 
-  bench::report_fit("HP-2DMOT cycles/step", ns, hp_series,
-                    "log^2 n/loglog n");
-  bench::report_fit("LPP-2DMOT cycles/step", ns, lpp_series,
-                    "log^2 n/loglog n");
-  bench::report_fit("HP-crossbar cycles/step", ns, xbar_series,
-                    "log^2 n/loglog n");
+  reporter.fit("HP-2DMOT cycles/step", ns, hp_series,
+               "log^2 n/loglog n");
+  reporter.fit("LPP-2DMOT cycles/step", ns, lpp_series,
+               "log^2 n/loglog n");
+  reporter.fit("HP-crossbar cycles/step", ns, xbar_series,
+               "log^2 n/loglog n");
 
   std::printf(
       "Who wins, by what: all three machines track the polylog shape; the\n"
@@ -104,24 +104,24 @@ int main() {
     util::Table ablation({"n", "via root (paper)", "via LCA", "saving"});
     ablation.set_title("ablation: column-tree turnaround rule (HP-2DMOT)");
     for (const std::uint32_t n : {64u, 256u}) {
-      auto root = core::make_scheme({.kind = core::SchemeKind::kHpMot,
+      core::SimulationPipeline root({.kind = core::SchemeKind::kHpMot,
                                      .n = n,
                                      .seed = 21});
-      auto lca = core::make_scheme({.kind = core::SchemeKind::kHpMot,
+      core::SimulationPipeline lca({.kind = core::SchemeKind::kHpMot,
                                     .n = n,
                                     .seed = 21,
                                     .lca_turnaround = true});
-      const auto tr = core::run_stress(*root.engine, n, root.m, 3, 5,
-                                       pram::exclusive_trace_families(),
-                                       false);
-      const auto tl = core::run_stress(*lca.engine, n, lca.m, 3, 5,
-                                       pram::exclusive_trace_families(),
-                                       false);
+      const auto tr = root.run_stress(
+          {.steps_per_family = 3, .seed = 5,
+           .include_map_adversarial = false});
+      const auto tl = lca.run_stress(
+          {.steps_per_family = 3, .seed = 5,
+           .include_map_adversarial = false});
       ablation.add_row({static_cast<std::int64_t>(n), tr.time.mean(),
                         tl.time.mean(),
                         1.0 - tl.time.mean() / tr.time.mean()});
     }
-    ablation.print(2);
+    reporter.table(ablation, 2);
     std::printf(
         "The root rule the paper states is within a small constant of the\n"
         "LCA shortcut; the simplification costs little.\n");

@@ -21,7 +21,8 @@ int main() {
   // ---- 1. the Theorem 3 machine -------------------------------------
   const std::uint32_t n = 64;  // P-RAM processors
   core::SchemeSpec spec{.kind = core::SchemeKind::kHpMot, .n = n, .seed = 42};
-  auto scheme = core::make_scheme(spec);
+  core::SimulationPipeline pipeline(spec);
+  const auto& scheme = pipeline.scheme();
   std::printf("scheme          : %s\n", scheme.name.c_str());
   std::printf("processors      : %u\n", n);
   std::printf("shared vars (m) : %llu\n",
@@ -37,15 +38,14 @@ int main() {
   util::Rng rng(7);
   const auto batch =
       pram::make_batch(pram::TraceFamily::kPermutation, n, scheme.m, rng);
-  const auto requests = core::to_requests(batch);
-  const auto step = scheme.engine->run_step(requests);
-  std::printf("one P-RAM step (%zu distinct accesses):\n", requests.size());
+  const auto step = pipeline.run_batch(batch);
+  std::printf("one P-RAM step (%zu accesses):\n", batch.size());
   std::printf("  network cycles : %llu\n",
               static_cast<unsigned long long>(step.time));
   std::printf("  copy accesses  : %llu\n",
               static_cast<unsigned long long>(step.work));
   std::printf("  live after stage 1: %llu (bound n/(2c-1) = %u)\n\n",
-              static_cast<unsigned long long>(step.stats.live_after_stage1),
+              static_cast<unsigned long long>(step.live_after_stage1),
               n / scheme.r);
 
   // ---- 3. a real program end-to-end ----------------------------------

@@ -1,19 +1,16 @@
 // Scheme tour: one identical adversarially-flavoured P-RAM step served by
-// every simulation engine in the library — the paper's §1 narrative as a
-// single program run. Prints machine model, redundancy, simulated time
-// and work for each.
+// every memory organization in the library — the paper's §1 narrative as
+// a single program run. One loop over the scheme factory; the pipeline
+// does the combining and stepping, so no engine is special-cased.
 //
-// Build & run:  ./build/examples/example_scheme_tour
+// Build & run:  ./build/example_scheme_tour
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "core/context_engines.hpp"
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
 #include "memmap/expansion.hpp"
 #include "memmap/memory_map.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -25,69 +22,32 @@ int main() {
   // load under a reference map (an "arbitrary P-RAM step" with teeth).
   memmap::HashedMap probe_map(m, n * n, 7, 1);
   const auto vars = memmap::adversarial_batch(probe_map, n, 99);
-  std::vector<majority::VarRequest> reqs;
-  reqs.reserve(n);
+  pram::AccessBatch batch;
+  batch.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    reqs.push_back({vars[i], ProcId(i)});
+    batch.push_back({ProcId(i), pram::AccessOp::kRead, vars[i], 0});
   }
 
-  util::Table table({"engine", "redundancy", "time", "unit", "work",
+  util::Table table({"engine", "storage", "time", "unit", "work",
                      "guarantee"});
   table.set_title("one adversarial step of n = 64 accesses, every engine");
 
-  // The five factory schemes.
-  for (const auto kind :
-       {core::SchemeKind::kUwMpc, core::SchemeKind::kAltBdn,
-        core::SchemeKind::kDmmpc, core::SchemeKind::kLppMot,
-        core::SchemeKind::kCrossbar, core::SchemeKind::kHpMot}) {
-    auto inst = core::make_scheme({.kind = kind, .n = n, .seed = 7});
-    const auto res = inst.engine->run_step(reqs);
-    const bool rounds = kind == core::SchemeKind::kUwMpc ||
-                        kind == core::SchemeKind::kDmmpc;
-    table.add_row({std::string(core::to_string(kind)),
-                   std::string("r = " + std::to_string(inst.r)),
-                   static_cast<std::int64_t>(res.time),
-                   std::string(rounds ? "rounds" : "cycles"),
-                   static_cast<std::int64_t>(res.work),
-                   std::string("deterministic worst-case")});
+  for (const auto kind : core::all_scheme_kinds()) {
+    core::SimulationPipeline pipeline({.kind = kind, .n = n, .seed = 7});
+    const auto cost = pipeline.run_batch(batch);
+    const auto& scheme = pipeline.scheme();
+    table.add_row({scheme.name, scheme.storage_factor,
+                   static_cast<std::int64_t>(cost.time),
+                   std::string(scheme.time_unit),
+                   static_cast<std::int64_t>(cost.work),
+                   std::string(scheme.guarantee)});
   }
 
-  // Herley-Bilardi on a concrete expander.
-  {
-    const auto c = core::hb_c(m);
-    auto map = std::make_shared<memmap::HashedMap>(m, n, 2 * c - 1, 7);
-    majority::SchedulerConfig cfg;
-    cfg.c = c;
-    cfg.cluster_size = 2 * c - 1;
-    cfg.n_processors = n;
-    core::HbExpanderEngine engine(map, cfg, 6, 11);
-    const auto res = engine.run_step(reqs);
-    table.add_row({std::string("HB-expander"),
-                   std::string("r = " + std::to_string(2 * c - 1)),
-                   static_cast<std::int64_t>(res.time),
-                   std::string("cycles"),
-                   static_cast<std::int64_t>(res.work),
-                   std::string("deterministic worst-case")});
-  }
-
-  // Ranade on a butterfly (probabilistic).
-  {
-    auto map = std::shared_ptr<memmap::MemoryMap>(
-        memmap::make_single_copy_map(m, n, 7));
-    core::RanadeButterflyEngine engine(map, n);
-    const auto res = engine.run_step(reqs);
-    table.add_row({std::string("Ranade-butterfly"), std::string("r = 1"),
-                   static_cast<std::int64_t>(res.time),
-                   std::string("cycles"),
-                   static_cast<std::int64_t>(res.work),
-                   std::string("expected only")});
-  }
-
-  table.print(0);
+  table.print(1);
   std::printf(
-      "\nSame traffic everywhere. The paper's point, in one table: only\n"
-      "the HP engines combine a deterministic worst-case guarantee with\n"
-      "constant redundancy — and HP-2DMOT does it on a bounded-degree\n"
-      "network with O(M) switches.\n");
+      "\nSame traffic everywhere, one driver. The paper's point, in one\n"
+      "table: only the HP engines combine a deterministic worst-case\n"
+      "guarantee with constant redundancy — and HP-2DMOT does it on a\n"
+      "bounded-degree network with O(M) switches.\n");
   return 0;
 }

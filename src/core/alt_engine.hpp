@@ -37,6 +37,9 @@ class AltBdnEngine final : public majority::AccessEngine {
   [[nodiscard]] const memmap::MemoryMap& map() const override {
     return *map_;
   }
+  [[nodiscard]] std::uint32_t n_processors() const override {
+    return scheduler_.n_processors;
+  }
   /// Cycles charged per protocol round: sort depth + delivery.
   [[nodiscard]] std::uint64_t cycles_per_round() const {
     return cycles_per_round_;

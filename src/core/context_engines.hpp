@@ -47,6 +47,9 @@ class RanadeButterflyEngine final : public majority::AccessEngine {
   [[nodiscard]] const memmap::MemoryMap& map() const override {
     return *map_;
   }
+  [[nodiscard]] std::uint32_t n_processors() const override {
+    return n_processors_;
+  }
   [[nodiscard]] const net::ButterflyShape& shape() const { return shape_; }
 
  private:
@@ -68,6 +71,9 @@ class HbExpanderEngine final : public majority::AccessEngine {
 
   [[nodiscard]] const memmap::MemoryMap& map() const override {
     return *map_;
+  }
+  [[nodiscard]] std::uint32_t n_processors() const override {
+    return scheduler_.n_processors;
   }
   [[nodiscard]] const net::RegularGraph& graph() const { return graph_; }
   [[nodiscard]] std::uint32_t cycles_per_round() const {

@@ -1,75 +1,160 @@
 #include "core/driver.hpp"
 
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "memmap/expansion.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace pramsim::core {
 
+CombinedStep combine_batch(const pram::AccessBatch& batch) {
+  CombinedStep step;
+  struct WriteSlot {
+    std::size_t index;
+    ProcId writer;
+  };
+  std::unordered_set<std::uint32_t> seen_read;
+  std::unordered_map<std::uint32_t, WriteSlot> writes;
+  step.reads.reserve(batch.size());
+  step.writes.reserve(batch.size());
+  for (const auto& access : batch) {
+    if (access.op == pram::AccessOp::kRead) {
+      if (seen_read.insert(access.var.value()).second) {
+        step.reads.push_back(access.var);
+      }
+      continue;
+    }
+    const auto [it, fresh] = writes.try_emplace(
+        access.var.value(), WriteSlot{step.writes.size(), access.proc});
+    if (fresh) {
+      step.writes.push_back({access.var, access.value});
+    } else if (access.proc.value() < it->second.writer.value()) {
+      // Lowest processor id wins — the deterministic CW convention.
+      step.writes[it->second.index].value = access.value;
+      it->second.writer = access.proc;
+    }
+  }
+  return step;
+}
+
 std::vector<majority::VarRequest> to_requests(const pram::AccessBatch& batch) {
   std::vector<majority::VarRequest> requests;
   requests.reserve(batch.size());
-  std::unordered_set<std::uint32_t> seen;
-  seen.reserve(batch.size());
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  index.reserve(batch.size());
   for (const auto& access : batch) {
-    if (seen.insert(access.var.value()).second) {
-      requests.push_back({access.var, access.proc});
+    const auto [it, fresh] = index.try_emplace(access.var.value(),
+                                               requests.size());
+    if (fresh) {
+      requests.push_back({access.var, access.proc, access.op});
+      continue;
     }
+    auto& request = requests[it->second];
+    if (access.op != pram::AccessOp::kWrite) {
+      continue;  // reads never displace an existing request
+    }
+    // A write always takes over the request; among writers the lowest
+    // processor id wins (deterministic CW convention).
+    if (request.op != pram::AccessOp::kWrite ||
+        access.proc.value() < request.requester.value()) {
+      request.requester = access.proc;
+    }
+    request.op = pram::AccessOp::kWrite;
   }
   return requests;
 }
 
-TraceRunResult run_trace(majority::AccessEngine& engine,
+void TraceRunResult::merge(const TraceRunResult& other) {
+  time.merge(other.time);
+  work.merge(other.work);
+  live_after_stage1.merge(other.live_after_stage1);
+  max_queue.merge(other.max_queue);
+  steps += other.steps;
+}
+
+namespace {
+
+void record_step(TraceRunResult& result, const pram::MemStepCost& cost) {
+  result.time.add(static_cast<double>(cost.time));
+  result.work.add(static_cast<double>(cost.work));
+  result.live_after_stage1.add(static_cast<double>(cost.live_after_stage1));
+  result.max_queue.add(static_cast<double>(cost.max_queue));
+  ++result.steps;
+}
+
+pram::MemStepCost serve_batch(pram::MemorySystem& memory,
+                              const pram::AccessBatch& batch) {
+  const auto combined = combine_batch(batch);
+  std::vector<pram::Word> values(combined.reads.size());
+  return memory.step(combined.reads, values, combined.writes);
+}
+
+}  // namespace
+
+TraceRunResult run_trace(pram::MemorySystem& memory,
                          std::span<const pram::AccessBatch> trace) {
   TraceRunResult result;
+  result.storage_factor = memory.storage_redundancy();
   for (const auto& batch : trace) {
-    const auto requests = to_requests(batch);
-    const auto step = engine.run_step(requests);
-    result.time.add(static_cast<double>(step.time));
-    result.work.add(static_cast<double>(step.work));
-    result.live_after_stage1.add(
-        static_cast<double>(step.stats.live_after_stage1));
-    ++result.steps;
+    record_step(result, serve_batch(memory, batch));
   }
   return result;
 }
 
-TraceRunResult run_stress(majority::AccessEngine& engine, std::uint32_t n,
-                          std::uint64_t m, std::size_t steps_per_family,
-                          std::uint64_t seed,
-                          std::span<const pram::TraceFamily> families,
-                          bool include_map_adversarial) {
-  util::Rng rng(seed);
-  TraceRunResult total;
-  for (const auto family : families) {
-    auto family_rng = rng.split();
-    const auto trace =
-        pram::make_trace(family, n, m, steps_per_family, family_rng);
-    const auto partial = run_trace(engine, trace);
-    total.time.merge(partial.time);
-    total.work.merge(partial.work);
-    total.live_after_stage1.merge(partial.live_after_stage1);
-    total.steps += partial.steps;
-  }
-  if (include_map_adversarial) {
-    for (std::size_t s = 0; s < steps_per_family; ++s) {
-      const auto vars =
-          memmap::adversarial_batch(engine.map(), n, rng.next());
-      std::vector<majority::VarRequest> requests;
-      requests.reserve(vars.size());
-      for (std::uint32_t i = 0; i < vars.size(); ++i) {
-        requests.push_back({vars[i], ProcId(i % n)});
-      }
-      const auto step = engine.run_step(requests);
-      total.time.add(static_cast<double>(step.time));
-      total.work.add(static_cast<double>(step.work));
-      total.live_after_stage1.add(
-          static_cast<double>(step.stats.live_after_stage1));
-      ++total.steps;
+SimulationPipeline::SimulationPipeline(SchemeSpec spec)
+    : spec_(spec), instance_(make_scheme(spec)) {}
+
+pram::MemStepCost SimulationPipeline::run_batch(const pram::AccessBatch& batch) {
+  return serve_batch(*instance_.memory, batch);
+}
+
+TraceRunResult SimulationPipeline::run_stress(
+    const StressOptions& options) const {
+  const std::vector<pram::TraceFamily>& families =
+      options.families.empty() ? pram::exclusive_trace_families()
+                               : options.families;
+  const std::uint32_t n = spec_.n;
+  const std::uint64_t m = instance_.m;
+  const std::size_t trials = std::max<std::size_t>(options.trials, 1);
+
+  std::vector<TraceRunResult> shards(trials);
+  util::parallel_for(0, trials, [&](std::size_t trial) {
+    // Fresh memory per shard (same scheme seed: the map under test is
+    // fixed; the traffic seed shifts per trial).
+    auto instance = make_scheme(spec_);
+    util::Rng rng(options.seed + trial * 0x9E3779B97F4A7C15ULL);
+    TraceRunResult& total = shards[trial];
+    total.storage_factor = instance.memory->storage_redundancy();
+    for (const auto family : families) {
+      auto family_rng = rng.split();
+      const auto trace =
+          pram::make_trace(family, n, m, options.steps_per_family, family_rng);
+      total.merge(run_trace(*instance.memory, trace));
     }
+    const memmap::MemoryMap* map = instance.memory->memory_map();
+    if (options.include_map_adversarial && map != nullptr) {
+      for (std::size_t s = 0; s < options.steps_per_family; ++s) {
+        const auto vars = memmap::adversarial_batch(*map, n, rng.next());
+        pram::AccessBatch batch;
+        batch.reserve(vars.size());
+        for (std::uint32_t i = 0; i < vars.size(); ++i) {
+          batch.push_back(
+              {ProcId(i % n), pram::AccessOp::kRead, vars[i], 0});
+        }
+        record_step(total, serve_batch(*instance.memory, batch));
+      }
+    }
+  });
+
+  TraceRunResult merged;
+  merged.storage_factor = instance_.memory->storage_redundancy();
+  for (const auto& shard : shards) {
+    merged.merge(shard);
   }
-  return total;
+  return merged;
 }
 
 }  // namespace pramsim::core

@@ -1,43 +1,109 @@
-// Trace driver: feeds synthetic access batches (pram/trace.hpp) and
-// map-adversarial batches through an AccessEngine and aggregates the
-// per-step costs. This is the measurement loop behind the Theorem 2/3
-// benches.
+// Scheme-agnostic simulation pipeline: feeds synthetic access batches
+// (pram/trace.hpp) and map-adversarial batches through any memory
+// organization behind the unified pram::MemorySystem interface, doing the
+// batch dedup/combining exactly once, sharding independent trials with
+// util::parallel_for, and aggregating a unified TraceRunResult. This is
+// the measurement loop behind every cross-scheme bench; no caller builds
+// a per-scheme loop by hand.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/schemes.hpp"
 #include "majority/engine.hpp"
+#include "pram/memory_system.hpp"
 #include "pram/trace.hpp"
 #include "util/stats.hpp"
 
 namespace pramsim::core {
 
-struct TraceRunResult {
-  util::RunningStats time;   ///< per-step simulated time (rounds/cycles)
-  util::RunningStats work;   ///< per-step copy accesses
-  util::RunningStats live_after_stage1;
-  std::uint64_t steps = 0;
+/// One P-RAM step after concurrent-access combining: distinct read
+/// variables, and distinct writes with their winning values. A variable
+/// both read and written appears in both lists (the read sees the
+/// pre-step value; the write commits after).
+struct CombinedStep {
+  std::vector<VarId> reads;
+  std::vector<pram::VarWrite> writes;
 };
 
-/// Deduplicate a raw access batch into distinct-variable requests,
-/// keeping the first requesting processor per variable.
+/// Combine a raw access batch: concurrent reads collapse to one read,
+/// concurrent writes resolve to the lowest-processor-id writer (the
+/// deterministic CW convention used machine-wide).
+[[nodiscard]] CombinedStep combine_batch(const pram::AccessBatch& batch);
+
+/// Deduplicate a raw access batch into distinct-variable requests for
+/// engine-level drivers. A variable both read and written produces a
+/// single request that PRESERVES THE WRITE: op = kWrite and the
+/// requester is the winning (lowest-id) writer, never whichever access
+/// happened to come first.
 [[nodiscard]] std::vector<majority::VarRequest> to_requests(
     const pram::AccessBatch& batch);
 
-/// Run every batch of `trace` through the engine.
-[[nodiscard]] TraceRunResult run_trace(
-    majority::AccessEngine& engine,
-    std::span<const pram::AccessBatch> trace);
+/// Aggregate over every step served: simulated time, work, live-set and
+/// contention telemetry, and the scheme's storage redundancy so cost can
+/// be weighted by the memory it actually consumes.
+struct TraceRunResult {
+  util::RunningStats time;   ///< per-step simulated time (rounds/cycles)
+  util::RunningStats work;   ///< per-step copy/share accesses
+  util::RunningStats live_after_stage1;
+  util::RunningStats max_queue;  ///< per-step peak module/edge contention
+  std::uint64_t steps = 0;
+  double storage_factor = 1.0;  ///< redundancy of the scheme measured
 
-/// Convenience: `steps` batches of each given family, plus (optionally)
-/// map-adversarial batches, through the engine; returns aggregate over
-/// everything (the "arbitrary step" stress the theorems quantify over).
-[[nodiscard]] TraceRunResult run_stress(
-    majority::AccessEngine& engine, std::uint32_t n, std::uint64_t m,
-    std::size_t steps_per_family, std::uint64_t seed,
-    std::span<const pram::TraceFamily> families,
-    bool include_map_adversarial = true);
+  /// Redundancy-weighted cost: mean step time scaled by the storage
+  /// blow-up — the "time x memory" currency the paper's trade-offs
+  /// compare (constant-redundancy schemes win exactly here).
+  [[nodiscard]] double redundancy_weighted_cost() const {
+    return time.mean() * storage_factor;
+  }
+
+  void merge(const TraceRunResult& other);
+};
+
+/// Run every batch of `trace` through `memory` (combining once per batch).
+[[nodiscard]] TraceRunResult run_trace(
+    pram::MemorySystem& memory, std::span<const pram::AccessBatch> trace);
+
+/// Stress-run parameters: trace families x steps, optional
+/// map-adversarial batches, and independent trials sharded across host
+/// threads. Results are deterministic given (spec, options) regardless of
+/// worker scheduling.
+struct StressOptions {
+  std::size_t steps_per_family = 3;
+  std::uint64_t seed = 1;
+  /// Trace families to sweep; empty = pram::exclusive_trace_families().
+  std::vector<pram::TraceFamily> families = {};
+  /// Include batches crafted against the scheme's memory map (skipped
+  /// automatically for organizations without a map, e.g. kIda/kHashed).
+  bool include_map_adversarial = true;
+  /// Independent trials (fresh memory, shifted traffic seed), sharded
+  /// with util::parallel_for and merged in trial order.
+  std::size_t trials = 1;
+};
+
+/// The one driver every scheme kind runs through. Construct from a spec;
+/// the pipeline assembles the scheme, owns a prototype instance for
+/// metadata/one-shot steps, and builds fresh per-trial memories for
+/// sharded stress runs.
+class SimulationPipeline {
+ public:
+  explicit SimulationPipeline(SchemeSpec spec);
+
+  /// The assembled prototype (metadata: r, switches, model, ...).
+  [[nodiscard]] const SchemeInstance& scheme() const { return instance_; }
+  [[nodiscard]] const SchemeSpec& spec() const { return spec_; }
+
+  /// Serve one raw batch on the prototype memory (combining included).
+  pram::MemStepCost run_batch(const pram::AccessBatch& batch);
+
+  /// Families x steps (+ adversarial) x trials, merged deterministically.
+  [[nodiscard]] TraceRunResult run_stress(const StressOptions& options = {}) const;
+
+ private:
+  SchemeSpec spec_;
+  SchemeInstance instance_;
+};
 
 }  // namespace pramsim::core

@@ -79,6 +79,9 @@ class MotEngine final : public majority::AccessEngine {
   [[nodiscard]] const memmap::MemoryMap& map() const override {
     return *map_;
   }
+  [[nodiscard]] std::uint32_t n_processors() const override {
+    return config_.n_processors;
+  }
   [[nodiscard]] const MotEngineConfig& config() const { return config_; }
   [[nodiscard]] const net::MotShape& shape() const { return shape_; }
   /// One-way request path length in hops (including the module port).

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/alt_engine.hpp"
+#include "core/context_engines.hpp"
 #include "core/mot_engine.hpp"
+#include "hashing/mv_memory.hpp"
+#include "ida/ida_memory.hpp"
 #include "network/topology.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -19,8 +23,22 @@ const char* to_string(SchemeKind kind) {
     case SchemeKind::kDmmpc: return "HP-DMMPC";
     case SchemeKind::kUwMpc: return "UW-MPC";
     case SchemeKind::kAltBdn: return "Alt-BDN(sort)";
+    case SchemeKind::kHbExpander: return "HB-expander";
+    case SchemeKind::kRanade: return "Ranade-butterfly";
+    case SchemeKind::kIda: return "Schuster-IDA";
+    case SchemeKind::kHashed: return "MV-hashing";
   }
   return "???";
+}
+
+const std::vector<SchemeKind>& all_scheme_kinds() {
+  static const std::vector<SchemeKind> kinds = {
+      SchemeKind::kUwMpc,  SchemeKind::kAltBdn,     SchemeKind::kDmmpc,
+      SchemeKind::kLppMot, SchemeKind::kCrossbar,   SchemeKind::kHpMot,
+      SchemeKind::kHbExpander, SchemeKind::kRanade, SchemeKind::kIda,
+      SchemeKind::kHashed,
+  };
+  return kinds;
 }
 
 namespace {
@@ -37,13 +55,25 @@ double effective_eps(std::uint32_t n, std::uint64_t n_modules) {
          1.0;
 }
 
+/// Wrap a majority access engine into the unified memory interface and
+/// keep the protocol-introspection view alive.
+void install_engine(SchemeInstance& inst,
+                    std::unique_ptr<majority::AccessEngine> engine) {
+  auto memory =
+      std::make_unique<majority::MajorityMemory>(std::move(engine));
+  inst.engine = &memory->engine();
+  inst.memory = std::move(memory);
+}
+
 }  // namespace
 
 SchemeInstance make_scheme(const SchemeSpec& spec) {
   PRAMSIM_ASSERT(spec.n >= 4);
   SchemeInstance inst;
+  inst.kind = spec.kind;
   inst.name = to_string(spec.kind);
   inst.m = vars_for(spec);
+  inst.guarantee = "deterministic worst-case";
 
   const double nd = spec.n;
   switch (spec.kind) {
@@ -74,11 +104,13 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
       cfg.lca_turnaround = spec.lca_turnaround;
       cfg.prom_lookup = spec.prom_lookup;
       auto engine = std::make_unique<MotEngine>(map, cfg);
-      inst.switches =
-          net::summarize(engine->shape()).switches;
+      inst.switches = net::summarize(engine->shape()).switches;
       inst.request_hops = engine->request_hops();
       inst.map = std::move(map);
-      inst.engine = std::move(engine);
+      install_engine(inst, std::move(engine));
+      inst.model = "DMBDN (2DMOT)";
+      inst.time_unit = "cycles";
+      inst.notes = "Theorem 3";
       break;
     }
     case SchemeKind::kCrossbar: {
@@ -106,7 +138,10 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
       inst.switches = net::summarize(engine->shape()).switches;
       inst.request_hops = engine->request_hops();
       inst.map = std::move(map);
-      inst.engine = std::move(engine);
+      install_engine(inst, std::move(engine));
+      inst.model = "DMBDN (2DMOT)";
+      inst.time_unit = "cycles";
+      inst.notes = "Fig. 7";
       break;
     }
     case SchemeKind::kLppMot: {
@@ -130,7 +165,10 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
       inst.switches = net::summarize(engine->shape()).switches;
       inst.request_hops = engine->request_hops();
       inst.map = std::move(map);
-      inst.engine = std::move(engine);
+      install_engine(inst, std::move(engine));
+      inst.model = "DMBDN (2DMOT)";
+      inst.time_unit = "cycles";
+      inst.notes = "LPP'90";
       break;
     }
     case SchemeKind::kDmmpc: {
@@ -150,8 +188,11 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
       cfg.n_processors = spec.n;
       cfg.stage1_turns = spec.stage1_turns;
       cfg.all_at_once = spec.all_at_once;
-      inst.engine = std::make_unique<majority::DmmpcEngine>(map, cfg);
+      install_engine(inst,
+                     std::make_unique<majority::DmmpcEngine>(map, cfg));
       inst.map = std::move(map);
+      inst.model = "DMMPC";
+      inst.notes = "Theorem 2";
       break;
     }
     case SchemeKind::kUwMpc: {
@@ -169,8 +210,11 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
       cfg.n_processors = spec.n;
       cfg.stage1_turns = spec.stage1_turns;
       cfg.all_at_once = spec.all_at_once;
-      inst.engine = std::make_unique<majority::DmmpcEngine>(map, cfg);
+      install_engine(inst,
+                     std::make_unique<majority::DmmpcEngine>(map, cfg));
       inst.map = std::move(map);
+      inst.model = "MPC";
+      inst.notes = "UW'87";
       break;
     }
     case SchemeKind::kAltBdn: {
@@ -192,16 +236,101 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
       auto engine = std::make_unique<AltBdnEngine>(map, cfg);
       inst.request_hops = engine->cycles_per_round();
       inst.map = std::move(map);
-      inst.engine = std::move(engine);
+      install_engine(inst, std::move(engine));
+      inst.model = "BDN (sorting)";
+      inst.time_unit = "cycles";
+      inst.notes = "Alt et al. '87";
+      break;
+    }
+    case SchemeKind::kHbExpander: {
+      inst.n_modules = spec.n;  // modules at the expander's nodes
+      inst.eps_effective = 0.0;
+      inst.c = hb_c(inst.m);
+      inst.r = 2 * inst.c - 1;
+      PRAMSIM_ASSERT_MSG(inst.r <= inst.n_modules,
+                         "log/loglog-redundancy map needs r <= n modules");
+      auto map = std::make_shared<memmap::HashedMap>(inst.m, inst.n_modules,
+                                                     inst.r, spec.seed);
+      majority::SchedulerConfig cfg;
+      cfg.c = inst.c;
+      cfg.cluster_size = inst.r;
+      cfg.n_processors = spec.n;
+      cfg.stage1_turns = spec.stage1_turns;
+      cfg.all_at_once = spec.all_at_once;
+      auto engine = std::make_unique<HbExpanderEngine>(
+          map, cfg, /*graph_degree=*/6, /*graph_seed=*/spec.seed + 101);
+      inst.request_hops = engine->cycles_per_round();
+      inst.map = std::move(map);
+      install_engine(inst, std::move(engine));
+      inst.model = "BDN (expander)";
+      inst.time_unit = "cycles";
+      inst.notes = "HB'88; measured 6-regular expander";
+      break;
+    }
+    case SchemeKind::kRanade: {
+      PRAMSIM_ASSERT(util::is_pow2(spec.n));
+      inst.n_modules = spec.n;  // one module per butterfly output row
+      inst.eps_effective = 0.0;
+      inst.c = 1;
+      inst.r = 1;
+      std::shared_ptr<const memmap::MemoryMap> map =
+          memmap::make_single_copy_map(inst.m, inst.n_modules, spec.seed);
+      auto engine =
+          std::make_unique<RanadeButterflyEngine>(map, spec.n);
+      inst.map = std::move(map);
+      install_engine(inst, std::move(engine));
+      inst.model = "BDN (butterfly)";
+      inst.time_unit = "cycles";
+      inst.deterministic = false;
+      inst.guarantee = "expected only";
+      inst.notes = "Ranade'87; no worst-case bound";
+      break;
+    }
+    case SchemeKind::kIda: {
+      // Block size b = Theta(log n), d = 2b shares: constant (x2) storage
+      // redundancy, Theta(log n) variables processed per access — the
+      // opposite trade from the paper's replication.
+      const auto block = std::max<std::uint32_t>(
+          2, static_cast<std::uint32_t>(util::ilog2_ceil(spec.n)));
+      const std::uint32_t d = 2 * block;
+      const auto M64 = std::max<std::uint64_t>(
+          d, std::min<std::uint64_t>(
+                 {static_cast<std::uint64_t>(
+                      std::llround(std::pow(nd, 1.0 + spec.eps))),
+                  inst.m,
+                  std::numeric_limits<std::uint32_t>::max()}));
+      inst.n_modules = static_cast<std::uint32_t>(M64);
+      inst.eps_effective = effective_eps(spec.n, inst.n_modules);
+      inst.memory = std::make_unique<ida::IdaMemory>(
+          inst.m, ida::IdaMemoryConfig{.b = block,
+                                       .d = d,
+                                       .n_modules = inst.n_modules,
+                                       .seed = spec.seed});
+      inst.model = "DMMPC";
+      inst.guarantee = "deterministic; Theta(log n) work/access";
+      inst.notes = "Schuster'87/Rabin'89";
+      break;
+    }
+    case SchemeKind::kHashed: {
+      inst.n_modules = spec.n;  // the MPC: one module per processor
+      inst.eps_effective = 0.0;
+      inst.memory = std::make_unique<hashing::MvMemory>(
+          inst.m, hashing::MvMemoryConfig{.n_modules = inst.n_modules,
+                                          .k_wise = 2,
+                                          .seed = spec.seed});
+      inst.model = "MPC";
+      inst.deterministic = false;
+      inst.guarantee = "expected only";
+      inst.notes = "MV'84; adversary can force n rounds";
       break;
     }
   }
+  inst.storage_factor = inst.memory->storage_redundancy();
   return inst;
 }
 
-std::unique_ptr<majority::MajorityMemory> make_memory(const SchemeSpec& spec) {
-  auto inst = make_scheme(spec);
-  return std::make_unique<majority::MajorityMemory>(std::move(inst.engine));
+std::unique_ptr<pram::MemorySystem> make_memory(const SchemeSpec& spec) {
+  return std::move(make_scheme(spec).memory);
 }
 
 }  // namespace pramsim::core

@@ -1,18 +1,30 @@
-// Scheme factory: one entry point that assembles each of the simulation
-// machines studied in the paper, with all parameters derived from
-// (n, k, eps, b, seed):
+// Scheme factory: one entry point that assembles each of the memory
+// organizations studied (or contrasted) in the paper, with all parameters
+// derived from (n, k, eps, b, seed):
 //
-//  | kind       | machine model        | interconnect     | redundancy    |
-//  |------------|----------------------|------------------|---------------|
-//  | kHpMot     | DMBDN (Theorem 3)    | sqrt(M) x sqrt(M)| Theta(1)      |
-//  |            |                      | 2DMOT, modules   | (Lemma 2)     |
-//  |            |                      | at leaves        |               |
-//  | kCrossbar  | DMBDN (Fig. 7)       | n x M 2DMOT      | Theta(1)      |
-//  | kLppMot    | BDN (LPP'90 baseline)| n x n 2DMOT,     | Theta(log n)  |
-//  |            |                      | modules at roots |               |
-//  | kDmmpc     | DMMPC (Theorem 2)    | complete K_{n,M} | Theta(1)      |
-//  | kUwMpc     | MPC (UW'87 baseline) | complete K_n     | Theta(log m)  |
-//  | kAltBdn    | BDN (Alt et al. '87) | sorting network  | Theta(log m)  |
+//  | kind        | machine model        | interconnect     | redundancy    |
+//  |-------------|----------------------|------------------|---------------|
+//  | kHpMot      | DMBDN (Theorem 3)    | sqrt(M) x sqrt(M)| Theta(1)      |
+//  |             |                      | 2DMOT, modules   | (Lemma 2)     |
+//  |             |                      | at leaves        |               |
+//  | kCrossbar   | DMBDN (Fig. 7)       | n x M 2DMOT      | Theta(1)      |
+//  | kLppMot     | BDN (LPP'90 baseline)| n x n 2DMOT,     | Theta(log n)  |
+//  |             |                      | modules at roots |               |
+//  | kDmmpc      | DMMPC (Theorem 2)    | complete K_{n,M} | Theta(1)      |
+//  | kUwMpc      | MPC (UW'87 baseline) | complete K_n     | Theta(log m)  |
+//  | kAltBdn     | BDN (Alt et al. '87) | sorting network  | Theta(log m)  |
+//  | kHbExpander | BDN (HB'88 baseline) | random-regular   | Theta(log m / |
+//  |             |                      | expander         |  loglog m)    |
+//  | kRanade     | BDN (Ranade '87)     | butterfly        | 1 (hashed,    |
+//  |             |                      |                  |  probabilistic)|
+//  | kIda        | DMMPC (Schuster '87) | complete K_{n,M} | storage d/b   |
+//  |             |                      |                  | = Theta(1)    |
+//  | kHashed     | MPC (MV'84 baseline) | complete K_n     | 1 (hashed,    |
+//  |             |                      |                  |  probabilistic)|
+//
+// Every kind yields a pram::MemorySystem — the scheme-agnostic engine
+// interface — so any organization plugs into pram::Machine and into the
+// core::SimulationPipeline stress driver with zero per-scheme branching.
 //
 // Geometry notes: the square 2DMOT hosts processors at the first n
 // row-tree roots, so its side is max(n, ~n^((1+eps)/2)) rounded to a power
@@ -24,6 +36,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "majority/engine.hpp"
 #include "majority/majority_memory.hpp"
@@ -34,15 +47,22 @@
 namespace pramsim::core {
 
 enum class SchemeKind : std::uint8_t {
-  kHpMot,      ///< the paper's contribution (Theorem 3)
-  kCrossbar,   ///< Fig. 7 variant
-  kLppMot,     ///< Luccio et al. 1990 baseline
-  kDmmpc,      ///< Theorem 2 machine
-  kUwMpc,      ///< Upfal-Wigderson 1987 MPC baseline
-  kAltBdn,     ///< Alt et al. 1987 sorting-network BDN baseline (modeled)
+  kHpMot,       ///< the paper's contribution (Theorem 3)
+  kCrossbar,    ///< Fig. 7 variant
+  kLppMot,      ///< Luccio et al. 1990 baseline
+  kDmmpc,       ///< Theorem 2 machine
+  kUwMpc,       ///< Upfal-Wigderson 1987 MPC baseline
+  kAltBdn,      ///< Alt et al. 1987 sorting-network BDN baseline (modeled)
+  kHbExpander,  ///< Herley-Bilardi 1988 expander baseline
+  kRanade,      ///< Ranade 1987 butterfly baseline (probabilistic)
+  kIda,         ///< Schuster/Rabin information-dispersal blocks
+  kHashed,      ///< Mehlhorn-Vishkin 1984 hashed single copy (probabilistic)
 };
 
 [[nodiscard]] const char* to_string(SchemeKind kind);
+
+/// Every kind, in a stable order (for cross-scheme sweeps and tests).
+[[nodiscard]] const std::vector<SchemeKind>& all_scheme_kinds();
 
 struct SchemeSpec {
   SchemeKind kind = SchemeKind::kHpMot;
@@ -63,24 +83,41 @@ struct SchemeSpec {
   bool prom_lookup = false;
 };
 
-/// A fully assembled scheme: map + engine + bookkeeping for tables.
+/// A fully assembled scheme behind the unified engine interface: the
+/// memory system plus the bookkeeping every bench table needs, so call
+/// sites never branch on the kind.
 struct SchemeInstance {
   std::string name;
-  std::shared_ptr<const memmap::MemoryMap> map;
-  std::unique_ptr<majority::AccessEngine> engine;
-  std::uint64_t m = 0;           ///< variables covered by the map
+  SchemeKind kind = SchemeKind::kHpMot;
+  /// The scheme as a pluggable shared memory — always set; this is the
+  /// handle the SimulationPipeline and pram::Machine drive.
+  std::unique_ptr<pram::MemorySystem> memory;
+  /// Non-owning view of the majority-protocol engine inside `memory`
+  /// (protocol introspection: live-decay curves, P-ROM phases). Null for
+  /// organizations without one (kIda, kHashed).
+  majority::AccessEngine* engine = nullptr;
+  std::shared_ptr<const memmap::MemoryMap> map;  ///< null for kIda/kHashed
+  std::uint64_t m = 0;           ///< variables covered
   std::uint32_t n_modules = 0;   ///< M
-  std::uint32_t c = 0;
-  std::uint32_t r = 0;           ///< redundancy
+  std::uint32_t c = 0;           ///< access threshold (0: no majority rule)
+  std::uint32_t r = 0;           ///< copies per variable (0: not replicated)
+  double storage_factor = 1.0;   ///< storage blow-up vs flat memory
   double eps_effective = 0.0;    ///< log2(M)/log2(n) - 1 actually realized
   std::uint64_t switches = 0;    ///< extra network nodes (0 for MPC/DMMPC)
   std::uint64_t request_hops = 0;  ///< one-way route length (MOT kinds)
+  // Table metadata, so comparison benches are pure loops.
+  const char* model = "";        ///< "DMMPC", "DMBDN (2DMOT)", ...
+  const char* time_unit = "rounds";
+  bool deterministic = true;
+  const char* guarantee = "";    ///< "deterministic worst-case" / ...
+  const char* notes = "";        ///< source / caveat column text
 };
 
 [[nodiscard]] SchemeInstance make_scheme(const SchemeSpec& spec);
 
-/// The scheme as a pluggable shared memory for pram::Machine.
-[[nodiscard]] std::unique_ptr<majority::MajorityMemory> make_memory(
+/// The scheme as a pluggable shared memory for pram::Machine — every
+/// SchemeKind, one call, no branches at the call site.
+[[nodiscard]] std::unique_ptr<pram::MemorySystem> make_memory(
     const SchemeSpec& spec);
 
 }  // namespace pramsim::core

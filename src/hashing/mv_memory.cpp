@@ -63,7 +63,9 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
   }
 
   return pram::MemStepCost{.time = max_load,
-                           .work = seen.size()};
+                           .work = seen.size(),
+                           .live_after_stage1 = 0,
+                           .max_queue = max_load};
 }
 
 pram::Word MvMemory::peek(VarId var) const {

@@ -133,6 +133,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
 
   cost.time = read_rounds + write_rounds;
   cost.work = share_accesses_ - share_accesses_before;
+  cost.max_queue = std::max(read_rounds, write_rounds);
   return cost;
 }
 

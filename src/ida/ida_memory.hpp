@@ -42,6 +42,9 @@ class IdaMemory final : public pram::MemorySystem {
   [[nodiscard]] std::uint64_t size() const override { return m_vars_; }
   [[nodiscard]] pram::Word peek(VarId var) const override;
   void poke(VarId var, pram::Word value) override;
+  [[nodiscard]] double storage_redundancy() const override {
+    return disperser_.storage_factor();
+  }
 
   // ----- scheme accounting -----
   [[nodiscard]] double storage_factor() const {

@@ -3,7 +3,7 @@
 namespace pramsim::majority {
 
 CopyStore::CopyStore(std::uint64_t m_vars, std::uint32_t redundancy)
-    : m_vars_(m_vars), r_(redundancy), copies_(m_vars * redundancy) {
+    : m_vars_(m_vars), r_(redundancy) {
   PRAMSIM_ASSERT(m_vars >= 1);
   PRAMSIM_ASSERT(redundancy >= 1 && redundancy <= 64);
 }
@@ -32,7 +32,7 @@ Copy CopyStore::ground_truth(VarId var) const {
 void CopyStore::corrupt(VarId var, std::uint32_t copy,
                         pram::Word bogus_value) {
   PRAMSIM_ASSERT(var.index() < m_vars_ && copy < r_);
-  copies_[var.index() * r_ + copy].value = bogus_value;
+  row(var)[copy].value = bogus_value;
 }
 
 }  // namespace pramsim::majority

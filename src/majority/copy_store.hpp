@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "pram/types.hpp"
@@ -22,25 +23,34 @@ struct Copy {
   std::uint64_t stamp = 0;  ///< step number of last write (0 = initial)
 };
 
-/// Dense (variable, copy-index) -> Copy storage. Sized m*r; intended for
-/// correctness runs and end-to-end program execution (the large-scale
-/// benches use the round scheduler alone, which needs no storage).
+/// Sparse (variable, copy-index) -> Copy storage. A variable's r copies
+/// are materialized on its first write; untouched variables read as the
+/// initial {0, 0} copy. This keeps full-scale memories (m up to n^2 for
+/// n in the thousands) cheap to construct: storage is proportional to the
+/// variables a run actually writes, not to m*r.
 class CopyStore {
  public:
   CopyStore(std::uint64_t m_vars, std::uint32_t redundancy);
 
   [[nodiscard]] std::uint64_t num_vars() const { return m_vars_; }
   [[nodiscard]] std::uint32_t redundancy() const { return r_; }
+  /// Variables with at least one written copy (live-set accounting).
+  [[nodiscard]] std::uint64_t touched_vars() const { return copies_.size(); }
 
   [[nodiscard]] const Copy& at(VarId var, std::uint32_t copy) const {
     PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
-    return copies_[var.index() * r_ + copy];
+    const auto it = copies_.find(var.index());
+    if (it == copies_.end()) {
+      static const Copy kInitial{};
+      return kInitial;
+    }
+    return it->second[copy];
   }
 
   void write(VarId var, std::uint32_t copy, pram::Word value,
              std::uint64_t stamp) {
     PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
-    copies_[var.index() * r_ + copy] = Copy{value, stamp};
+    row(var)[copy] = Copy{value, stamp};
   }
 
   /// The freshest value among the copies selected by `mask` (bit i =>
@@ -56,9 +66,13 @@ class CopyStore {
   void corrupt(VarId var, std::uint32_t copy, pram::Word bogus_value);
 
  private:
+  [[nodiscard]] std::vector<Copy>& row(VarId var) {
+    return copies_.try_emplace(var.index(), r_).first->second;
+  }
+
   std::uint64_t m_vars_;
   std::uint32_t r_;
-  std::vector<Copy> copies_;
+  std::unordered_map<std::uint64_t, std::vector<Copy>> copies_;
 };
 
 }  // namespace pramsim::majority

@@ -54,6 +54,10 @@ class AccessEngine {
       std::span<const VarRequest> requests) = 0;
 
   [[nodiscard]] virtual const memmap::MemoryMap& map() const = 0;
+
+  /// Simulating processors driving the protocol (cluster assignment of
+  /// requests whose requester is synthesized, e.g. by MajorityMemory).
+  [[nodiscard]] virtual std::uint32_t n_processors() const { return 1; }
 };
 
 /// Theorem 2 engine: the two-stage cluster protocol under unit module
@@ -68,6 +72,9 @@ class DmmpcEngine final : public AccessEngine {
 
   [[nodiscard]] const memmap::MemoryMap& map() const override {
     return *map_;
+  }
+  [[nodiscard]] std::uint32_t n_processors() const override {
+    return config_.n_processors;
   }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 

@@ -9,19 +9,10 @@
 
 namespace pramsim::majority {
 
-namespace {
-std::uint32_t infer_processors(const AccessEngine& engine) {
-  if (const auto* dmmpc = dynamic_cast<const DmmpcEngine*>(&engine)) {
-    return std::max<std::uint32_t>(dmmpc->config().n_processors, 1);
-  }
-  return 1;  // engines that serialize injection handle this themselves
-}
-}  // namespace
-
 MajorityMemory::MajorityMemory(std::unique_ptr<AccessEngine> engine)
     : engine_(std::move(engine)),
       store_(engine_->map().num_vars(), engine_->map().redundancy()),
-      n_processors_(infer_processors(*engine_)) {
+      n_processors_(std::max<std::uint32_t>(engine_->n_processors(), 1)) {
   PRAMSIM_ASSERT(engine_ != nullptr);
   PRAMSIM_ASSERT_MSG(engine_->map().redundancy() % 2 == 1,
                      "majority rule requires odd r = 2c-1");
@@ -48,19 +39,21 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
   std::vector<std::size_t> write_req(writes.size());
   std::unordered_map<std::uint32_t, std::size_t> index;
   std::uint32_t next_proc = 0;
-  auto request_for = [&](VarId var) {
+  auto request_for = [&](VarId var, pram::AccessOp op) {
     auto [it, fresh] = index.try_emplace(var.value(), requests.size());
     if (fresh) {
-      requests.push_back({var, ProcId(next_proc % n_processors_)});
+      requests.push_back({var, ProcId(next_proc % n_processors_), op});
       ++next_proc;
+    } else if (op == pram::AccessOp::kWrite) {
+      requests[it->second].op = pram::AccessOp::kWrite;
     }
     return it->second;
   };
   for (std::size_t i = 0; i < reads.size(); ++i) {
-    read_req[i] = request_for(reads[i]);
+    read_req[i] = request_for(reads[i], pram::AccessOp::kRead);
   }
   for (std::size_t i = 0; i < writes.size(); ++i) {
-    write_req[i] = request_for(writes[i].var);
+    write_req[i] = request_for(writes[i].var, pram::AccessOp::kWrite);
   }
 
   const EngineResult result = engine_->run_step(requests);
@@ -83,7 +76,10 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
     }
   }
 
-  return pram::MemStepCost{.time = result.time, .work = result.work};
+  return pram::MemStepCost{.time = result.time,
+                           .work = result.work,
+                           .live_after_stage1 = result.stats.live_after_stage1,
+                           .max_queue = result.stats.max_queue};
 }
 
 pram::Word MajorityMemory::peek(VarId var) const {

@@ -40,8 +40,16 @@ class MajorityMemory final : public pram::MemorySystem {
   }
   [[nodiscard]] pram::Word peek(VarId var) const override;
   void poke(VarId var, pram::Word value) override;
+  [[nodiscard]] double storage_redundancy() const override {
+    return static_cast<double>(engine_->map().redundancy());
+  }
+  [[nodiscard]] const memmap::MemoryMap* memory_map() const override {
+    return &engine_->map();
+  }
 
   // ----- introspection for tests / benches -----
+  [[nodiscard]] AccessEngine& engine() { return *engine_; }
+  [[nodiscard]] const AccessEngine& engine() const { return *engine_; }
   [[nodiscard]] const CopyStore& store() const { return store_; }
   [[nodiscard]] CopyStore& mutable_store() { return store_; }
   [[nodiscard]] const memmap::MemoryMap& map() const {

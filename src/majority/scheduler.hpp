@@ -31,14 +31,21 @@
 #include <vector>
 
 #include "memmap/memory_map.hpp"
+#include "pram/types.hpp"
 #include "util/stats.hpp"
 #include "util/strong_id.hpp"
 
 namespace pramsim::majority {
 
+/// One distinct variable's combined access for a step. When the step both
+/// reads and writes the variable, the single request carries the write
+/// (op = kWrite, requester = the winning writer): the accessed copy set
+/// serves the read and then commits the write, so losing the write marker
+/// would silently drop the mutation from engine-level simulation.
 struct VarRequest {
   VarId var;
   ProcId requester;
+  pram::AccessOp op = pram::AccessOp::kRead;
 };
 
 struct SchedulerConfig {

@@ -15,14 +15,23 @@
 
 #include "pram/types.hpp"
 
+namespace pramsim::memmap {
+class MemoryMap;  // forward declaration: optional introspection hook only
+}
+
 namespace pramsim::pram {
 
-/// Cost of serving one P-RAM step's accesses on the simulating machine.
+/// Cost of serving one P-RAM step's accesses on the simulating machine,
+/// plus scheme-agnostic telemetry (fields a scheme cannot measure stay 0).
 struct MemStepCost {
   /// Elapsed time in the simulating machine's unit (rounds or cycles).
   std::uint64_t time = 0;
   /// Total copy/share accesses performed (work; relevant for IDA).
   std::uint64_t work = 0;
+  /// Live variables left after stage 1 of a two-stage majority protocol.
+  std::uint64_t live_after_stage1 = 0;
+  /// Peak per-module (or per-edge) contention this step.
+  std::uint64_t max_queue = 0;
 };
 
 /// Interface all shared-memory organizations implement.
@@ -52,6 +61,18 @@ class MemorySystem {
 
   /// Verification hook: initialize a variable (not a timed operation).
   virtual void poke(VarId var, Word value) = 0;
+
+  // ----- scheme-agnostic introspection (the unified engine surface) -----
+
+  /// Storage blow-up over the ideal flat memory: r for replicated
+  /// schemes, d/b for IDA dispersal, 1 for single-copy organizations.
+  [[nodiscard]] virtual double storage_redundancy() const { return 1.0; }
+
+  /// The variable->modules map driving this scheme, when one exists
+  /// (lets drivers build map-adversarial batches); nullptr otherwise.
+  [[nodiscard]] virtual const memmap::MemoryMap* memory_map() const {
+    return nullptr;
+  }
 };
 
 /// The ideal P-RAM's own memory: a flat array with unit access time.

@@ -2,6 +2,7 @@
 
 #include "util/assert.hpp"
 #include "util/math.hpp"
+#include "util/rng.hpp"
 
 namespace pramsim::pram::programs {
 
@@ -283,6 +284,57 @@ ProgramSpec pid_write() {
   p.halt();
   p.finalize();
   return {std::move(p), 1, ConflictPolicy::kCrcwArbitrary};
+}
+
+ProgramSpec random_exclusive(std::uint32_t n, std::uint32_t rounds,
+                             std::uint64_t seed) {
+  PRAMSIM_ASSERT(n >= 2);
+  constexpr std::uint32_t kBlock = 4;
+  util::Rng rng(seed);
+  Program p("random_exclusive");
+  emit_prologue(p);
+  p.muli(R1, kPid, kBlock);  // R1 = own block base
+  p.loadi(R10, 0);           // R10 = running accumulator
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    const auto off = static_cast<Word>(rng.below(kBlock));
+    const auto off2 = static_cast<Word>(rng.below(kBlock));
+    const auto imm = static_cast<Word>(1 + rng.below(97));
+    switch (rng.below(3)) {
+      case 0:
+        // Read-modify-write inside the processor's own block.
+        p.sread(R3, R1, off);
+        if (rng.below(2) == 0) {
+          p.addi(R3, R3, imm);
+        } else {
+          p.loadi(R4, imm);
+          p.xor_(R3, R3, R4);
+        }
+        p.swrite(R1, R3, off2);
+        p.add(R10, R10, R3);
+        break;
+      case 1: {
+        // RMW on a shifted permutation of the blocks: processor i works
+        // on block (i + shift) mod n — exclusive for every shift.
+        const auto shift = static_cast<Word>(1 + rng.below(n - 1));
+        p.addi(R5, kPid, shift);
+        p.mod(R5, R5, kN);
+        p.muli(R5, R5, kBlock);
+        p.sread(R6, R5, off);
+        p.addi(R6, R6, imm);
+        p.swrite(R5, R6, off2);
+        break;
+      }
+      default:
+        // Spill the accumulator into the processor's own block.
+        p.addi(R10, R10, imm);
+        p.swrite(R1, R10, off);
+        break;
+    }
+  }
+  p.halt();
+  p.finalize();
+  return {std::move(p), static_cast<std::uint64_t>(n) * kBlock,
+          ConflictPolicy::kErew};
 }
 
 }  // namespace pramsim::pram::programs

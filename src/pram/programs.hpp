@@ -61,6 +61,16 @@ struct ProgramSpec {
 /// Layout: x = [0,n), scratch = [n,2n). ceil(log2 n) rounds.
 [[nodiscard]] ProgramSpec broadcast(std::uint32_t n);
 
+/// Randomized straight-line EREW program for equivalence fuzzing: `rounds`
+/// rounds of seeded-random shared read-modify-write traffic. Every round
+/// each processor touches either its own 4-cell block or a shifted
+/// permutation of the blocks, so accesses stay exclusive by construction
+/// while the address/value mix varies with the seed. Layout: block i =
+/// [4i, 4i+4). Deterministic given (n, rounds, seed).
+[[nodiscard]] ProgramSpec random_exclusive(std::uint32_t n,
+                                           std::uint32_t rounds,
+                                           std::uint64_t seed);
+
 // ---- tiny conflict-semantics probes used by tests -----------------------
 
 /// Every processor reads shared[0]. Violates EREW, legal under CREW.

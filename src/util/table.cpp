@@ -109,6 +109,70 @@ std::string Table::to_csv(int precision) const {
   return out.str();
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_cell(const Table::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    std::string out;
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+    return out;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  const double d = std::get<double>(cell);
+  if (d != d || d - d != 0.0) {
+    return "null";  // NaN / inf are not representable in JSON
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream out;
+  out << "{\"title\": \"" << json_escape(title_) << "\", \"headers\": [";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? ", " : "") << "\"" << json_escape(headers_[c]) << "\"";
+  }
+  out << "], \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r ? ", " : "") << "[";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      out << (c ? ", " : "") << json_cell(rows_[r][c]);
+    }
+    out << "]";
+  }
+  out << "]}";
+  return out.str();
+}
+
 void Table::print(int precision) const {
   std::fputs(to_string(precision).c_str(), stdout);
   std::fflush(stdout);

@@ -12,6 +12,9 @@
 
 namespace pramsim::util {
 
+/// Escape a string for embedding inside a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 class Table {
  public:
   using Cell = std::variant<std::string, std::int64_t, double>;
@@ -29,6 +32,9 @@ class Table {
   /// Render with box-drawing ASCII. `precision` controls double formatting.
   [[nodiscard]] std::string to_string(int precision = 3) const;
   [[nodiscard]] std::string to_csv(int precision = 6) const;
+  /// Machine-readable form: {"title":..., "headers":[...], "rows":[[...]]}.
+  /// Numeric cells stay numbers; strings are JSON-escaped.
+  [[nodiscard]] std::string to_json() const;
 
   /// Print to stdout.
   void print(int precision = 3) const;

@@ -161,19 +161,77 @@ TEST(Driver, ToRequestsDeduplicates) {
   const auto reqs = to_requests(batch);
   ASSERT_EQ(reqs.size(), 2u);
   EXPECT_EQ(reqs[0].var, VarId(5));
-  EXPECT_EQ(reqs[0].requester, ProcId(0));  // first requester kept
+  // Read + write of one variable collapse to a single request that
+  // preserves the write — not whichever access came first.
+  EXPECT_EQ(reqs[0].op, pram::AccessOp::kWrite);
+  EXPECT_EQ(reqs[0].requester, ProcId(1));
   EXPECT_EQ(reqs[1].var, VarId(9));
+  EXPECT_EQ(reqs[1].op, pram::AccessOp::kRead);
+  EXPECT_EQ(reqs[1].requester, ProcId(2));
+}
+
+TEST(Driver, ToRequestsLowestWriterWins) {
+  pram::AccessBatch batch;
+  batch.push_back({ProcId(4), pram::AccessOp::kWrite, VarId(3), 40});
+  batch.push_back({ProcId(2), pram::AccessOp::kWrite, VarId(3), 20});
+  batch.push_back({ProcId(6), pram::AccessOp::kWrite, VarId(3), 60});
+  const auto reqs = to_requests(batch);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].op, pram::AccessOp::kWrite);
+  EXPECT_EQ(reqs[0].requester, ProcId(2));
+}
+
+TEST(Driver, CombineBatchResolvesConcurrentAccesses) {
+  pram::AccessBatch batch;
+  batch.push_back({ProcId(0), pram::AccessOp::kRead, VarId(5), 0});
+  batch.push_back({ProcId(3), pram::AccessOp::kWrite, VarId(5), 33});
+  batch.push_back({ProcId(1), pram::AccessOp::kWrite, VarId(5), 11});
+  batch.push_back({ProcId(2), pram::AccessOp::kRead, VarId(5), 0});
+  batch.push_back({ProcId(4), pram::AccessOp::kRead, VarId(9), 0});
+  const auto combined = combine_batch(batch);
+  // Var 5 is both read and written: it must appear once in each list,
+  // with the lowest-id writer's value committing.
+  ASSERT_EQ(combined.reads.size(), 2u);
+  EXPECT_EQ(combined.reads[0], VarId(5));
+  EXPECT_EQ(combined.reads[1], VarId(9));
+  ASSERT_EQ(combined.writes.size(), 1u);
+  EXPECT_EQ(combined.writes[0].var, VarId(5));
+  EXPECT_EQ(combined.writes[0].value, 11);
 }
 
 TEST(Driver, StressAggregatesAllFamilies) {
-  auto inst = make_scheme({.kind = SchemeKind::kDmmpc, .n = 64});
+  SimulationPipeline pipeline({.kind = SchemeKind::kDmmpc, .n = 64});
   const auto result =
-      run_stress(*inst.engine, 64, inst.m, 3, 21,
-                 pram::exclusive_trace_families(), true);
+      pipeline.run_stress({.steps_per_family = 3, .seed = 21});
   // 3 families x 3 steps + 3 adversarial steps.
   EXPECT_EQ(result.steps, 12u);
   EXPECT_GT(result.time.mean(), 0.0);
   EXPECT_GT(result.work.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.storage_factor,
+                   static_cast<double>(pipeline.scheme().r));
+  EXPECT_GT(result.redundancy_weighted_cost(), result.time.mean());
+}
+
+TEST(Driver, StressShardsAcrossTrialsDeterministically) {
+  SimulationPipeline pipeline({.kind = SchemeKind::kDmmpc, .n = 64});
+  const auto one = pipeline.run_stress(
+      {.steps_per_family = 2, .seed = 5, .trials = 3});
+  const auto two = pipeline.run_stress(
+      {.steps_per_family = 2, .seed = 5, .trials = 3});
+  // 3 trials x (3 families x 2 steps + 2 adversarial).
+  EXPECT_EQ(one.steps, 24u);
+  EXPECT_EQ(one.steps, two.steps);
+  EXPECT_DOUBLE_EQ(one.time.mean(), two.time.mean());
+  EXPECT_DOUBLE_EQ(one.work.mean(), two.work.mean());
+}
+
+TEST(Driver, StressSkipsAdversarialWhenSchemeHasNoMap) {
+  SimulationPipeline pipeline({.kind = SchemeKind::kHashed, .n = 64});
+  const auto result =
+      pipeline.run_stress({.steps_per_family = 3, .seed = 21});
+  // No memory map: only the 3 families x 3 steps run.
+  EXPECT_EQ(result.steps, 9u);
+  EXPECT_DOUBLE_EQ(result.storage_factor, 1.0);
 }
 
 // ------------------------------------- end-to-end, all schemes ----------
@@ -214,7 +272,12 @@ TEST_P(EndToEndTest, PrefixSumMatchesIdealPram) {
   ASSERT_TRUE(a.completed());
   ASSERT_TRUE(b.completed()) << GetParam().name;
   EXPECT_EQ(a.steps, b.steps);
-  EXPECT_GT(b.mem_time, a.mem_time) << "simulation must cost time";
+  if (GetParam().kind != SchemeKind::kHashed) {
+    // Hashed single-copy memory charges only its max module load, which
+    // can undercut the flat memory's 1-per-step on access-free steps.
+    EXPECT_GT(b.mem_time, a.mem_time) << "simulation must cost time";
+  }
+  EXPECT_GT(b.mem_time, 0u);
   for (std::uint32_t i = 0; i < n; ++i) {
     EXPECT_EQ(ideal.shared(VarId(i)), simulated.shared(VarId(i)))
         << GetParam().name << " cell " << i;
@@ -258,7 +321,9 @@ INSTANTIATE_TEST_SUITE_P(
                       EndToEndCase{SchemeKind::kDmmpc, "dmmpc"},
                       EndToEndCase{SchemeKind::kUwMpc, "uw_mpc"},
                       EndToEndCase{SchemeKind::kLppMot, "lpp_mot"},
-                      EndToEndCase{SchemeKind::kCrossbar, "crossbar"}),
+                      EndToEndCase{SchemeKind::kCrossbar, "crossbar"},
+                      EndToEndCase{SchemeKind::kIda, "ida"},
+                      EndToEndCase{SchemeKind::kHashed, "hashed"}),
     [](const ::testing::TestParamInfo<EndToEndCase>& param_info) {
       return param_info.param.name;
     });

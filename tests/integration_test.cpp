@@ -25,43 +25,38 @@ using pram::Machine;
 using pram::MachineConfig;
 using pram::Word;
 
-/// Factory for every MemorySystem implementation, by name.
+/// Factory for every MemorySystem implementation, by name. Every scheme
+/// kind (IDA and hashing included) comes out of the one unified factory;
+/// only the ideal flat memory is special.
 std::unique_ptr<pram::MemorySystem> make_memory_by_name(
     const std::string& name, std::uint32_t n, std::uint64_t m_required) {
   if (name == "flat") {
     return std::make_unique<pram::FlatMemory>(m_required);
   }
-  if (name == "ida") {
-    return std::make_unique<ida::IdaMemory>(
-        m_required,
-        ida::IdaMemoryConfig{.b = 4, .d = 8, .n_modules = 64, .seed = 7});
-  }
-  if (name == "mv") {
-    return std::make_unique<hashing::MvMemory>(
-        m_required,
-        hashing::MvMemoryConfig{.n_modules = n, .k_wise = 2, .seed = 7});
-  }
-  core::SchemeSpec spec{.n = n, .seed = 7, .min_vars = m_required};
-  if (name == "hp_mot") {
-    spec.kind = core::SchemeKind::kHpMot;
-  } else if (name == "crossbar") {
-    spec.kind = core::SchemeKind::kCrossbar;
-  } else if (name == "lpp") {
-    spec.kind = core::SchemeKind::kLppMot;
-  } else if (name == "dmmpc") {
-    spec.kind = core::SchemeKind::kDmmpc;
-  } else if (name == "uw_mpc") {
-    spec.kind = core::SchemeKind::kUwMpc;
-  } else {
+  static const std::map<std::string, core::SchemeKind> kinds = {
+      {"hp_mot", core::SchemeKind::kHpMot},
+      {"crossbar", core::SchemeKind::kCrossbar},
+      {"lpp", core::SchemeKind::kLppMot},
+      {"dmmpc", core::SchemeKind::kDmmpc},
+      {"uw_mpc", core::SchemeKind::kUwMpc},
+      {"hb_expander", core::SchemeKind::kHbExpander},
+      {"ranade", core::SchemeKind::kRanade},
+      {"ida", core::SchemeKind::kIda},
+      {"mv", core::SchemeKind::kHashed},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) {
     ADD_FAILURE() << "unknown memory " << name;
     return nullptr;
   }
-  return core::make_memory(spec);
+  return core::make_memory(
+      {.kind = it->second, .n = n, .seed = 7, .min_vars = m_required});
 }
 
 const std::vector<std::string>& all_memories() {
   static const std::vector<std::string> names = {
-      "flat", "hp_mot", "crossbar", "lpp", "dmmpc", "uw_mpc", "ida", "mv"};
+      "flat",   "hp_mot",      "crossbar", "lpp", "dmmpc",
+      "uw_mpc", "hb_expander", "ranade",   "ida", "mv"};
   return names;
 }
 

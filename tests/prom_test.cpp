@@ -57,7 +57,7 @@ TEST(Prom, LookupPhaseAddsTimeNotSemantics) {
   EXPECT_EQ(rb.accessed_mask, rp.accessed_mask);
   // ...but the lookup phase costs strictly positive extra cycles.
   EXPECT_GT(rp.time, rb.time);
-  const auto* engine = dynamic_cast<const MotEngine*>(prom.engine.get());
+  const auto* engine = dynamic_cast<const MotEngine*>(prom.engine);
   ASSERT_NE(engine, nullptr);
   EXPECT_GT(engine->prom_cycles(), 0u);
   EXPECT_EQ(rp.time - rb.time, engine->prom_cycles());
@@ -68,7 +68,7 @@ TEST(Prom, LookupOverheadAtLeastOneRoundTrip) {
       {.kind = SchemeKind::kHpMot, .n = 16, .seed = 7, .prom_lookup = true});
   const std::vector<majority::VarRequest> reqs = {{VarId(9), ProcId(0)}};
   const auto result = prom.engine->run_step(reqs);
-  const auto* engine = dynamic_cast<const MotEngine*>(prom.engine.get());
+  const auto* engine = dynamic_cast<const MotEngine*>(prom.engine);
   ASSERT_NE(engine, nullptr);
   EXPECT_GE(engine->prom_cycles(), 2 * engine->request_hops() - 1);
   EXPECT_GT(result.time, 0u);

@@ -172,15 +172,24 @@ TEST(MotLinearizability, LongMixedWorkloadMatchesOracle) {
 // ------------------------------ trace driver ----------------------------
 
 TEST(DriverProperty, StressIsDeterministicGivenSeed) {
-  auto a = core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = 64});
-  auto b = core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = 64});
-  const auto ra = core::run_stress(*a.engine, 64, a.m, 3, 777,
-                                   pram::exclusive_trace_families(), true);
-  const auto rb = core::run_stress(*b.engine, 64, b.m, 3, 777,
-                                   pram::exclusive_trace_families(), true);
+  core::SimulationPipeline a({.kind = core::SchemeKind::kDmmpc, .n = 64});
+  core::SimulationPipeline b({.kind = core::SchemeKind::kDmmpc, .n = 64});
+  const auto ra = a.run_stress({.steps_per_family = 3, .seed = 777});
+  const auto rb = b.run_stress({.steps_per_family = 3, .seed = 777});
   EXPECT_EQ(ra.steps, rb.steps);
   EXPECT_DOUBLE_EQ(ra.time.mean(), rb.time.mean());
   EXPECT_DOUBLE_EQ(ra.work.mean(), rb.work.mean());
+}
+
+TEST(DriverProperty, EverySchemeKindRunsTheStressPipeline) {
+  for (const auto kind : core::all_scheme_kinds()) {
+    core::SimulationPipeline pipeline({.kind = kind, .n = 16, .seed = 3});
+    const auto result =
+        pipeline.run_stress({.steps_per_family = 1, .seed = 11});
+    EXPECT_GE(result.steps, 3u) << core::to_string(kind);
+    EXPECT_GT(result.time.mean(), 0.0) << core::to_string(kind);
+    EXPECT_GE(result.storage_factor, 1.0) << core::to_string(kind);
+  }
 }
 
 }  // namespace

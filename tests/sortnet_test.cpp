@@ -107,8 +107,8 @@ TEST(AltBdn, StepCompletesAndCostsDepthPerRound) {
     EXPECT_GE(static_cast<std::uint32_t>(__builtin_popcountll(mask)),
               inst.c);
   }
-  const auto* engine = dynamic_cast<const core::AltBdnEngine*>(
-      inst.engine.get());
+  const auto* engine =
+      dynamic_cast<const core::AltBdnEngine*>(inst.engine);
   ASSERT_NE(engine, nullptr);
   EXPECT_EQ(result.time % engine->cycles_per_round(), 0u);
   EXPECT_GE(result.time / engine->cycles_per_round(), 1u);
