@@ -22,7 +22,7 @@ using namespace pramsim;
 
 namespace {
 
-void figures_1_to_6() {
+void figures_1_to_6(bench::Reporter& reporter) {
   bench::banner("F1-F3,F5,F6", "Figs. 1,2,3,5,6 (machine models)",
                 "MPC/BDN fix M = n (coarse granularity); DMMPC/DMBDN free "
                 "M, and only BDN/DMBDN are bounded-degree realizable");
@@ -44,12 +44,12 @@ void figures_1_to_6() {
                      static_cast<std::int64_t>(s.max_fanin),
                      std::string(s.bounded_degree ? "yes" : "no"), s.note});
     }
-    table.print(1);
+    reporter.table(table, 1);
     std::printf("\n");
   }
 }
 
-void figure_4() {
+void figure_4(bench::Reporter& reporter) {
   bench::banner("F4", "Fig. 4 (the 2DMOT network)",
                 "N^2 leaves + Theta(N^2) switches, degree <= 4, "
                 "diameter 4 log N");
@@ -82,10 +82,10 @@ void figure_4() {
                    static_cast<std::int64_t>(s.max_degree),
                    static_cast<std::int64_t>(s.diameter_hops), audit});
   }
-  table.print(0);
+  reporter.table(table, 0);
 }
 
-void figures_7_vs_8() {
+void figures_7_vs_8(bench::Reporter& reporter) {
   bench::banner("F7 vs F8", "Figs. 7, 8 (constant-redundancy placements)",
                 "crossbar: O(nM) switches; modules-at-leaves: O(M) switches "
                 "— same constant redundancy");
@@ -114,7 +114,7 @@ void figures_7_vs_8() {
          static_cast<double>(xb_inst.switches) /
              static_cast<double>(hp_inst.switches)});
   }
-  table.print(1);
+  reporter.table(table, 1);
   std::printf(
       "\nThe ratio grows ~linearly in n: Fig. 8's placement buys the same\n"
       "granularity for a factor Theta(n) fewer switches than Fig. 7.\n");
@@ -123,8 +123,13 @@ void figures_7_vs_8() {
 }  // namespace
 
 int main() {
-  figures_1_to_6();
-  figure_4();
-  figures_7_vs_8();
+  bench::Reporter reporter(
+      "fig_models", "Figs. 1-8 (machine models and the 2DMOT)",
+      "five machine models instantiated over an n sweep; the 2DMOT's "
+      "closed-form structure audits clean; modules-at-leaves buys the "
+      "crossbar's granularity for Theta(n) fewer switches");
+  figures_1_to_6(reporter);
+  figure_4(reporter);
+  figures_7_vs_8(reporter);
   return 0;
 }

@@ -20,9 +20,10 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("L2", "Lemma 2 (constant-redundancy memory map)",
-                "for b > 2, c > (bk-eps)/(eps(b-2)): live copies of any "
-                "q <= n/(2c-1) live variables cover >= (2c-1)q/b modules");
+  bench::Reporter reporter(
+      "lemma2_expansion", "Lemma 2 (constant-redundancy memory map)",
+      "for b > 2, c > (bk-eps)/(eps(b-2)): live copies of any "
+      "q <= n/(2c-1) live variables cover >= (2c-1)q/b modules");
 
   // ---- Table 1: phase transition in c ---------------------------------
   {
@@ -41,7 +42,7 @@ int main() {
                      std::string(f < 0 ? "maps exist w.h.p."
                                        : "bound vacuous")});
     }
-    table.print(1);
+    reporter.table(table, 1);
   }
 
   // ---- Table 2: the bound vanishes as n grows -------------------------
@@ -53,7 +54,7 @@ int main() {
                      memmap::bad_map_log2_union_bound(n, n * n, n * n, 4, 4.0),
                      memmap::bad_map_log2_union_bound(n, n * n, n * n, 5, 4.0)});
     }
-    table.print(1);
+    reporter.table(table, 1);
   }
 
   // ---- Table 3: measured expansion on concrete maps -------------------
@@ -86,7 +87,7 @@ int main() {
                                                              : "VIOLATED")});
       }
     }
-    table.print(2);
+    reporter.table(table, 2);
     std::printf(
         "\nEvery sampled live set at the paper's own (c, b) satisfies the\n"
         "expansion requirement with margin > 1: the non-constructive map\n"

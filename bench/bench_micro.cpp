@@ -1,12 +1,16 @@
-// Experiment M1: microbenchmarks (google-benchmark) of the library's hot
-// paths — map queries, protocol rounds, packet routing, GF(256) coding,
-// P-RAM stepping. These are engineering numbers for users of the library,
-// not model quantities.
-#include <benchmark/benchmark.h>
-
-#include <memory>
+// Experiment M1: microbenchmarks of the library's hot paths — map
+// queries, protocol rounds, packet routing, GF(256) coding, P-RAM
+// stepping. These are engineering numbers for users of the library, not
+// model quantities. Self-timed (no external benchmark dependency) and
+// mirrored to BENCH_micro.json via bench::Reporter like every other
+// experiment binary.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
 #include "ida/dispersal.hpp"
@@ -18,154 +22,188 @@
 #include "pram/machine.hpp"
 #include "pram/programs.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 using namespace pramsim;
 
 namespace {
 
-void BM_Gf256Mul(benchmark::State& state) {
-  util::Rng rng(1);
-  std::vector<std::uint8_t> xs(1024);
-  for (auto& x : xs) {
-    x = static_cast<std::uint8_t>(rng.below(256));
-  }
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto a = xs[i % xs.size()];
-    const auto b = xs[(i + 7) % xs.size()];
-    benchmark::DoNotOptimize(ida::GF256::mul(a, b));
-    ++i;
-  }
+/// Keep the optimizer honest about a computed value.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
 }
-BENCHMARK(BM_Gf256Mul);
 
-void BM_IdaEncodeWords(benchmark::State& state) {
-  const auto b = static_cast<std::uint32_t>(state.range(0));
-  ida::Disperser disperser({b, 2 * b});
-  util::Rng rng(2);
-  std::vector<pram::Word> block(b);
-  for (auto& w : block) {
-    w = static_cast<pram::Word>(rng.next());
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(disperser.encode_words(block));
-  }
-  state.SetItemsProcessed(state.iterations() * b);
-}
-BENCHMARK(BM_IdaEncodeWords)->Arg(8)->Arg(16)->Arg(32);
+struct Measurement {
+  std::uint64_t iterations = 0;
+  double ns_per_op = 0.0;
+};
 
-void BM_IdaRecoverWords(benchmark::State& state) {
-  const auto b = static_cast<std::uint32_t>(state.range(0));
-  ida::Disperser disperser({b, 2 * b});
-  util::Rng rng(3);
-  std::vector<pram::Word> block(b);
-  for (auto& w : block) {
-    w = static_cast<pram::Word>(rng.next());
+/// Run `op` in growing batches until >= 20 ms of wall time has been
+/// measured (after a warmup batch), then report mean ns per call.
+template <typename F>
+Measurement measure(F&& op, std::uint64_t batch = 64) {
+  using clock = std::chrono::steady_clock;
+  for (std::uint64_t i = 0; i < batch; ++i) {
+    op();  // warmup (page-in, branch training)
   }
-  const auto shares = disperser.encode_words(block);
-  std::vector<std::uint32_t> indices(b);
-  std::vector<pram::Word> vals(b);
-  for (std::uint32_t j = 0; j < b; ++j) {
-    indices[j] = b + j;
-    vals[j] = shares[b + j];
+  Measurement m;
+  double elapsed_ns = 0.0;
+  while (elapsed_ns < 2e7 && m.iterations < (1ULL << 30)) {
+    const auto start = clock::now();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      op();
+    }
+    const auto stop = clock::now();
+    elapsed_ns += std::chrono::duration<double, std::nano>(stop - start)
+                      .count();
+    m.iterations += batch;
+    batch *= 2;  // amortize clock overhead on fast kernels
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(disperser.recover_words(indices, vals));
-  }
-  state.SetItemsProcessed(state.iterations() * b);
+  m.ns_per_op = elapsed_ns / static_cast<double>(m.iterations);
+  return m;
 }
-BENCHMARK(BM_IdaRecoverWords)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_HashedMapCopies(benchmark::State& state) {
-  memmap::HashedMap map(1 << 20, 1 << 16, 7, 5);
-  std::array<ModuleId, 7> buf;
-  std::uint32_t v = 0;
-  for (auto _ : state) {
-    map.copies_into(VarId(v++ & ((1 << 20) - 1)), buf);
-    benchmark::DoNotOptimize(buf);
-  }
+void add_row(util::Table& table, const std::string& kernel,
+             const std::string& params, const Measurement& m,
+             double items_per_op) {
+  table.add_row({kernel, params, static_cast<std::int64_t>(m.iterations),
+                 m.ns_per_op,
+                 items_per_op * 1e9 / std::max(m.ns_per_op, 1e-9)});
 }
-BENCHMARK(BM_HashedMapCopies);
-
-void BM_TableMapCopies(benchmark::State& state) {
-  memmap::TableMap map(1 << 16, 1 << 12, 7, 5);
-  std::array<ModuleId, 7> buf;
-  std::uint32_t v = 0;
-  for (auto _ : state) {
-    map.copies_into(VarId(v++ & ((1 << 16) - 1)), buf);
-    benchmark::DoNotOptimize(buf);
-  }
-}
-BENCHMARK(BM_TableMapCopies);
-
-void BM_DmmpcScheduleStep(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  auto inst = core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = n});
-  util::Rng rng(7);
-  const auto vars = rng.sample_without_replacement(inst.m, n);
-  std::vector<majority::VarRequest> reqs;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(inst.engine->run_step(reqs));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_DmmpcScheduleStep)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_MotEngineStep(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  auto inst = core::make_scheme({.kind = core::SchemeKind::kHpMot, .n = n});
-  util::Rng rng(8);
-  const auto vars = rng.sample_without_replacement(inst.m, n);
-  std::vector<majority::VarRequest> reqs;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(inst.engine->run_step(reqs));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_MotEngineStep)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_RouterHeavyBatch(benchmark::State& state) {
-  const std::uint32_t S = 64;
-  util::Rng rng(9);
-  std::vector<net::Packet> proto(512);
-  for (std::uint32_t p = 0; p < 512; ++p) {
-    proto[p].id = p;
-    proto[p].path = net::hp_request_path(
-        S, static_cast<std::uint32_t>(rng.below(S)),
-        static_cast<std::uint32_t>(rng.below(S)),
-        static_cast<std::uint32_t>(rng.below(S)));
-  }
-  for (auto _ : state) {
-    auto packets = proto;
-    benchmark::DoNotOptimize(net::route_all(packets));
-  }
-  state.SetItemsProcessed(state.iterations() * 512);
-}
-BENCHMARK(BM_RouterHeavyBatch);
-
-void BM_PramStepThroughput(benchmark::State& state) {
-  const std::uint32_t n = 256;
-  auto spec = pram::programs::prefix_sum(n);
-  pram::MachineConfig cfg{.n_processors = n,
-                          .m_shared_cells = spec.m_required,
-                          .policy = pram::ConflictPolicy::kErew};
-  for (auto _ : state) {
-    state.PauseTiming();
-    auto prog = pram::programs::prefix_sum(n);
-    pram::Machine machine(cfg, std::move(prog.program));
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(machine.run());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_PramStepThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::Reporter reporter(
+      "micro", "hot-path microbenchmarks (engineering numbers)",
+      "map queries, protocol rounds, packet routing, GF(256) coding and "
+      "P-RAM stepping costs on this host");
+
+  util::Table table({"kernel", "params", "iterations", "ns/op", "items/s"});
+  table.set_title("hot paths, self-timed (>= 20 ms per kernel)");
+
+  {
+    util::Rng rng(1);
+    std::vector<std::uint8_t> xs(1024);
+    for (auto& x : xs) {
+      x = static_cast<std::uint8_t>(rng.below(256));
+    }
+    std::size_t i = 0;
+    const auto m = measure([&] {
+      do_not_optimize(ida::GF256::mul(xs[i % xs.size()],
+                                      xs[(i + 7) % xs.size()]));
+      ++i;
+    });
+    add_row(table, "gf256_mul", "-", m, 1.0);
+  }
+
+  for (const std::uint32_t b : {8u, 16u, 32u}) {
+    ida::Disperser disperser({b, 2 * b});
+    util::Rng rng(2);
+    std::vector<pram::Word> block(b);
+    for (auto& w : block) {
+      w = static_cast<pram::Word>(rng.next());
+    }
+    const auto m = measure([&] {
+      do_not_optimize(disperser.encode_words(block));
+    }, 8);
+    add_row(table, "ida_encode_words", "b=" + std::to_string(b), m, b);
+
+    const auto shares = disperser.encode_words(block);
+    std::vector<std::uint32_t> indices(b);
+    std::vector<pram::Word> vals(b);
+    for (std::uint32_t j = 0; j < b; ++j) {
+      indices[j] = b + j;
+      vals[j] = shares[b + j];
+    }
+    const auto mr = measure([&] {
+      do_not_optimize(disperser.recover_words(indices, vals));
+    }, 8);
+    add_row(table, "ida_recover_words", "b=" + std::to_string(b), mr, b);
+  }
+
+  {
+    memmap::HashedMap map(1 << 20, 1 << 16, 7, 5);
+    std::array<ModuleId, 7> buf;
+    std::uint32_t v = 0;
+    const auto m = measure([&] {
+      map.copies_into(VarId(v++ & ((1 << 20) - 1)), buf);
+      do_not_optimize(buf);
+    });
+    add_row(table, "hashed_map_copies", "m=2^20 r=7", m, 7.0);
+  }
+  {
+    memmap::TableMap map(1 << 16, 1 << 12, 7, 5);
+    std::array<ModuleId, 7> buf;
+    std::uint32_t v = 0;
+    const auto m = measure([&] {
+      map.copies_into(VarId(v++ & ((1 << 16) - 1)), buf);
+      do_not_optimize(buf);
+    });
+    add_row(table, "table_map_copies", "m=2^16 r=7", m, 7.0);
+  }
+
+  for (const std::uint32_t n : {256u, 1024u, 4096u}) {
+    auto inst = core::make_scheme({.kind = core::SchemeKind::kDmmpc, .n = n});
+    util::Rng rng(7);
+    const auto vars = rng.sample_without_replacement(inst.m, n);
+    std::vector<majority::VarRequest> reqs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
+    }
+    const auto m = measure([&] {
+      do_not_optimize(inst.engine->run_step(reqs));
+    }, 1);
+    add_row(table, "dmmpc_schedule_step", "n=" + std::to_string(n), m, n);
+  }
+
+  for (const std::uint32_t n : {64u, 128u, 256u}) {
+    auto inst = core::make_scheme({.kind = core::SchemeKind::kHpMot, .n = n});
+    util::Rng rng(8);
+    const auto vars = rng.sample_without_replacement(inst.m, n);
+    std::vector<majority::VarRequest> reqs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      reqs.push_back({VarId(static_cast<std::uint32_t>(vars[i])), ProcId(i)});
+    }
+    const auto m = measure([&] {
+      do_not_optimize(inst.engine->run_step(reqs));
+    }, 1);
+    add_row(table, "mot_engine_step", "n=" + std::to_string(n), m, n);
+  }
+
+  {
+    const std::uint32_t S = 64;
+    util::Rng rng(9);
+    std::vector<net::Packet> proto(512);
+    for (std::uint32_t p = 0; p < 512; ++p) {
+      proto[p].id = p;
+      proto[p].path = net::hp_request_path(
+          S, static_cast<std::uint32_t>(rng.below(S)),
+          static_cast<std::uint32_t>(rng.below(S)),
+          static_cast<std::uint32_t>(rng.below(S)));
+    }
+    const auto m = measure([&] {
+      auto packets = proto;
+      do_not_optimize(net::route_all(packets));
+    }, 1);
+    add_row(table, "router_heavy_batch", "S=64 pkts=512", m, 512.0);
+  }
+
+  {
+    const std::uint32_t n = 256;
+    auto spec = pram::programs::prefix_sum(n);
+    pram::MachineConfig cfg{.n_processors = n,
+                            .m_shared_cells = spec.m_required,
+                            .policy = pram::ConflictPolicy::kErew};
+    const auto m = measure([&] {
+      auto prog = pram::programs::prefix_sum(n);
+      pram::Machine machine(cfg, std::move(prog.program));
+      do_not_optimize(machine.run());
+    }, 1);
+    add_row(table, "pram_prefix_sum_run", "n=256", m, n);
+  }
+
+  reporter.table(table, 2);
+  return 0;
+}

@@ -20,9 +20,10 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("T1", "Theorem 1 (lower bound on redundancy)",
-                "r = Omega((k-1) log n / (eps log n + log h)): constant for "
-                "eps > 0 and polylog h, Omega(log n / log h)-like at eps = 0");
+  bench::Reporter reporter(
+      "theorem1_bound", "Theorem 1 (lower bound on redundancy)",
+      "r = Omega((k-1) log n / (eps log n + log h)): constant for "
+      "eps > 0 and polylog h, Omega(log n / log h)-like at eps = 0");
 
   // ---- Table 1: the (eps, h) surface at fixed n ----------------------
   {
@@ -42,7 +43,7 @@ int main() {
         table.add_row({eps, M, h, static_cast<std::int64_t>(p), closed});
       }
     }
-    table.print(2);
+    reporter.table(table, 2);
     std::printf(
         "\nReading: at eps = 0 (the MPC regime, M = n) fast simulation\n"
         "(h = 2) forces p ~ 10 copies; the same h at eps = 1 needs ~1.\n"
@@ -69,8 +70,8 @@ int main() {
                      memmap::theorem1_closed_form(n, 2.0, 1e-9, 2.0),
                      memmap::theorem1_closed_form(n, 2.0, 1.0, 2.0)});
     }
-    table.print(2);
-    bench::report_fit("p_min at eps=0", ns, coarse, "log n");
+    reporter.table(table, 2);
+    reporter.fit("p_min at eps=0", ns, coarse, "log n");
     std::printf(
         "The eps = 0 bound grows with n (the classic obstruction); the\n"
         "eps = 1 column is pinned at 1: granularity removes the lower\n"

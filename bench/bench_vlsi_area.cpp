@@ -22,9 +22,10 @@
 using namespace pramsim;
 
 int main() {
-  bench::banner("A1", "VLSI area accounting (§1, §3)",
-                "2DMOT area Theta(N^2(log^2 N + A_leaf)); simulator memory "
-                "area Theta(m) once granule g = Omega(log^2 n)");
+  bench::Reporter reporter(
+      "vlsi_area", "VLSI area accounting (§1, §3)",
+      "2DMOT area Theta(N^2(log^2 N + A_leaf)); simulator memory "
+      "area Theta(m) once granule g = Omega(log^2 n)");
 
   {
     util::Table table({"N", "layout area", "area / N^2", "log^2 N"});
@@ -39,8 +40,8 @@ int main() {
       ratio.push_back(r);
       table.add_row({static_cast<std::int64_t>(N), area, r, logn * logn});
     }
-    table.print(1);
-    bench::report_fit("2DMOT area / N^2", ns, ratio, "log^2 n");
+    reporter.table(table, 1);
+    reporter.fit("2DMOT area / N^2", ns, ratio, "log^2 n");
   }
 
   {
@@ -63,7 +64,7 @@ int main() {
                            ? "Theta(m) (x r)"
                            : granule_ok ? "decoder-bound" : "granule too small")});
     }
-    table.print(2);
+    reporter.table(table, 2);
     std::printf(
         "\nThe overhead is pinned near r = 7 while g = Omega(log^2 n); at\n"
         "single-cell granules (M = m) the per-module decoders inflate it —\n"
@@ -78,7 +79,7 @@ int main() {
       const double bw = models::perimeter_bandwidth(M);
       table.add_row({static_cast<std::int64_t>(M), bw, 1.0, bw});
     }
-    table.print(1);
+    reporter.table(table, 1);
   }
   return 0;
 }

@@ -1,0 +1,79 @@
+// Fault tour: watch one scheme survive module death.
+//
+// We build the paper's Theorem 2 machine (HP-DMMPC, r = 2c-1 copies per
+// variable over M = n^2 modules), wrap it in a FaultableMemory, and kill
+// an escalating number of memory modules. The degraded-mode protocol
+// (write-through + majority vote over surviving copies) keeps answering
+// correctly long after an unreplicated memory would have lost data — and
+// the trace-consistency oracle certifies that no read ever lied.
+//
+//   $ ./example_fault_tour
+#include <cstdio>
+#include <memory>
+
+#include "core/schemes.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/faultable_memory.hpp"
+#include "pram/memory_system.hpp"
+
+using namespace pramsim;
+
+namespace {
+
+/// Write `count` sentinel values, then read them all back; returns how
+/// many reads came back correct.
+std::uint32_t write_read_cycle(pram::MemorySystem& memory,
+                               std::uint32_t count) {
+  for (std::uint32_t v = 0; v < count; ++v) {
+    const pram::VarWrite writes[] = {{VarId(v), 1000 + v}};
+    (void)memory.step({}, {}, writes);
+  }
+  std::uint32_t correct = 0;
+  for (std::uint32_t v = 0; v < count; ++v) {
+    const VarId reads[] = {VarId(v)};
+    pram::Word values[] = {0};
+    (void)memory.step(reads, values, {});
+    correct += values[0] == 1000 + v;
+  }
+  return correct;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t n = 16;
+  const std::uint32_t vars = 128;
+  std::printf("fault tour: HP-DMMPC vs MV-hashing at n = %u, killing "
+              "modules\n\n", n);
+  std::printf("%8s | %12s | %14s | %14s | %s\n", "dead", "scheme",
+              "correct reads", "masked faults", "oracle verdict");
+  std::printf("---------+--------------+----------------+----------------+"
+              "---------------\n");
+
+  for (const std::uint32_t dead : {0u, 8u, 32u, 64u, 128u}) {
+    for (const auto kind :
+         {core::SchemeKind::kDmmpc, core::SchemeKind::kHashed}) {
+      auto inst = core::make_scheme({.kind = kind, .n = n, .seed = 7});
+      // A static fault set: `dead` modules (of inst.n_modules) are gone
+      // before the computation starts and stay gone.
+      faults::FaultableMemory memory(
+          std::move(inst.memory),
+          {.seed = 2027, .dead_modules = dead});
+      const auto correct = write_read_cycle(memory, vars);
+      const auto stats = memory.reliability();
+      std::printf("%8u | %12s | %7u / %-4u | %14llu | %s\n", dead,
+                  inst.name.c_str(), correct, vars,
+                  static_cast<unsigned long long>(stats.faults_masked),
+                  stats.wrong_reads == 0
+                      ? "no silent lies"
+                      : "SILENT WRONG READS");
+    }
+  }
+
+  std::printf(
+      "\nThe replicated scheme keeps every variable readable while the\n"
+      "single-copy baseline loses the address ranges of dead modules\n"
+      "(flagged as outages). Constant redundancy = graceful degradation;\n"
+      "see bench_faults for the full frontier across all schemes.\n");
+  return 0;
+}

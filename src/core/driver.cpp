@@ -1,9 +1,11 @@
 #include "core/driver.hpp"
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "faults/faultable_memory.hpp"
 #include "memmap/expansion.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -73,6 +75,12 @@ void TraceRunResult::merge(const TraceRunResult& other) {
   live_after_stage1.merge(other.live_after_stage1);
   max_queue.merge(other.max_queue);
   steps += other.steps;
+  reliability.merge(other.reliability);
+  if (other.breaking_fault_rate >= 0.0 &&
+      (breaking_fault_rate < 0.0 ||
+       other.breaking_fault_rate < breaking_fault_rate)) {
+    breaking_fault_rate = other.breaking_fault_rate;
+  }
 }
 
 namespace {
@@ -113,6 +121,16 @@ pram::MemStepCost SimulationPipeline::run_batch(const pram::AccessBatch& batch) 
 
 TraceRunResult SimulationPipeline::run_stress(
     const StressOptions& options) const {
+  return run_stress_impl(options, nullptr);
+}
+
+TraceRunResult SimulationPipeline::run_with_faults(
+    const faults::FaultSpec& fault_spec, const StressOptions& options) const {
+  return run_stress_impl(options, &fault_spec);
+}
+
+TraceRunResult SimulationPipeline::run_stress_impl(
+    const StressOptions& options, const faults::FaultSpec* fault_spec) const {
   const std::vector<pram::TraceFamily>& families =
       options.families.empty() ? pram::exclusive_trace_families()
                                : options.families;
@@ -123,30 +141,50 @@ TraceRunResult SimulationPipeline::run_stress(
   std::vector<TraceRunResult> shards(trials);
   util::parallel_for(0, trials, [&](std::size_t trial) {
     // Fresh memory per shard (same scheme seed: the map under test is
-    // fixed; the traffic seed shifts per trial).
+    // fixed; the traffic seed shifts per trial). Under fault injection
+    // the per-trial fault seed shifts too: each trial is an independent
+    // machine with its own static fault set at the same intensity.
     auto instance = make_scheme(spec_);
+    std::unique_ptr<pram::MemorySystem> memory = std::move(instance.memory);
+    if (fault_spec != nullptr) {
+      faults::FaultSpec trial_faults = *fault_spec;
+      trial_faults.seed += trial * 0xC2B2AE3D27D4EB4FULL;
+      memory = std::make_unique<faults::FaultableMemory>(std::move(memory),
+                                                         trial_faults);
+    }
     util::Rng rng(options.seed + trial * 0x9E3779B97F4A7C15ULL);
     TraceRunResult& total = shards[trial];
-    total.storage_factor = instance.memory->storage_redundancy();
+    total.storage_factor = memory->storage_redundancy();
     for (const auto family : families) {
       auto family_rng = rng.split();
       const auto trace =
           pram::make_trace(family, n, m, options.steps_per_family, family_rng);
-      total.merge(run_trace(*instance.memory, trace));
+      total.merge(run_trace(*memory, trace));
     }
-    const memmap::MemoryMap* map = instance.memory->memory_map();
-    if (options.include_map_adversarial && map != nullptr) {
+    if (options.include_map_adversarial) {
+      const memmap::MemoryMap* map = memory->memory_map();
       for (std::size_t s = 0; s < options.steps_per_family; ++s) {
-        const auto vars = memmap::adversarial_batch(*map, n, rng.next());
+        // Map-crafted congestion batches when the scheme exposes its
+        // map; otherwise the scheme's own adversary (e.g. the hashed
+        // baseline's known-hash preimage attack). Schemes with neither
+        // are skipped.
+        const auto vars =
+            map != nullptr
+                ? memmap::adversarial_batch(*map, n, rng.next())
+                : memory->adversarial_vars(n, rng.next());
+        if (vars.empty()) {
+          break;
+        }
         pram::AccessBatch batch;
         batch.reserve(vars.size());
         for (std::uint32_t i = 0; i < vars.size(); ++i) {
           batch.push_back(
               {ProcId(i % n), pram::AccessOp::kRead, vars[i], 0});
         }
-        record_step(total, serve_batch(*instance.memory, batch));
+        record_step(total, serve_batch(*memory, batch));
       }
     }
+    total.reliability = memory->reliability();
   });
 
   TraceRunResult merged;
@@ -155,6 +193,28 @@ TraceRunResult SimulationPipeline::run_stress(
     merged.merge(shard);
   }
   return merged;
+}
+
+FaultSweepResult SimulationPipeline::run_fault_sweep(
+    const FaultSweepOptions& options) const {
+  FaultSweepResult result;
+  result.total.storage_factor = instance_.memory->storage_redundancy();
+  for (const double rate : options.rates) {
+    const auto level_spec = faults::at_rate(options.proto, rate);
+    FaultLevelResult level;
+    level.rate = rate;
+    level.run = run_with_faults(level_spec, options.stress);
+    if (level.run.reliability.wrong_reads > 0) {
+      level.run.breaking_fault_rate = rate;
+    }
+    if (result.first_uncorrectable_rate < 0.0 &&
+        level.run.reliability.uncorrectable > 0) {
+      result.first_uncorrectable_rate = rate;
+    }
+    result.total.merge(level.run);
+    result.levels.push_back(std::move(level));
+  }
+  return result;
 }
 
 }  // namespace pramsim::core

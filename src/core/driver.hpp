@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/schemes.hpp"
+#include "faults/fault_model.hpp"
 #include "majority/engine.hpp"
 #include "pram/memory_system.hpp"
 #include "pram/trace.hpp"
@@ -51,6 +52,11 @@ struct TraceRunResult {
   util::RunningStats max_queue;  ///< per-step peak module/edge contention
   std::uint64_t steps = 0;
   double storage_factor = 1.0;  ///< redundancy of the scheme measured
+  /// Reliability telemetry (all-zero unless the run injected faults).
+  pram::ReliabilityStats reliability;
+  /// First fault intensity at which the scheme SILENTLY returned a wrong
+  /// value (set by run_fault_sweep); negative = never broke in the sweep.
+  double breaking_fault_rate = -1.0;
 
   /// Redundancy-weighted cost: mean step time scaled by the storage
   /// blow-up — the "time x memory" currency the paper's trade-offs
@@ -75,12 +81,43 @@ struct StressOptions {
   std::uint64_t seed = 1;
   /// Trace families to sweep; empty = pram::exclusive_trace_families().
   std::vector<pram::TraceFamily> families = {};
-  /// Include batches crafted against the scheme's memory map (skipped
-  /// automatically for organizations without a map, e.g. kIda/kHashed).
+  /// Include worst-case batches: crafted against the scheme's memory map
+  /// when it exposes one, otherwise against the scheme's own placement
+  /// knowledge (pram::MemorySystem::adversarial_vars — e.g. the hashed
+  /// baseline's known-hash preimage attack). Skipped only for schemes
+  /// with neither (e.g. kIda).
   bool include_map_adversarial = true;
   /// Independent trials (fresh memory, shifted traffic seed), sharded
   /// with util::parallel_for and merged in trial order.
   std::size_t trials = 1;
+};
+
+/// Fault-sweep parameters: ramp the prototype's rate axes through
+/// `rates` (faults::at_rate), running the same stress traffic at each
+/// level.
+struct FaultSweepOptions {
+  std::vector<double> rates = {0.0, 0.0125, 0.025, 0.05, 0.1, 0.2, 0.4};
+  /// Which fault axes scale with the ramp (defaults: module kills and
+  /// write corruption; stuck cells off).
+  faults::FaultSpec proto{
+      .seed = 1, .dead_modules = 0, .module_kill_rate = 1.0,
+      .stuck_rate = 0.0, .corruption_rate = 1.0};
+  StressOptions stress;
+};
+
+/// One ramp level's outcome.
+struct FaultLevelResult {
+  double rate = 0.0;
+  TraceRunResult run;
+};
+
+struct FaultSweepResult {
+  std::vector<FaultLevelResult> levels;
+  /// Everything merged; `total.breaking_fault_rate` is the first rate
+  /// whose run silently returned a wrong value (the breaking point).
+  TraceRunResult total;
+  /// First rate with any flagged (uncorrectable) read; negative = none.
+  double first_uncorrectable_rate = -1.0;
 };
 
 /// The one driver every scheme kind runs through. Construct from a spec;
@@ -101,7 +138,23 @@ class SimulationPipeline {
   /// Families x steps (+ adversarial) x trials, merged deterministically.
   [[nodiscard]] TraceRunResult run_stress(const StressOptions& options = {}) const;
 
+  /// run_stress with every per-trial memory wrapped in a
+  /// faults::FaultableMemory under `fault_spec` (per-trial fault seeds
+  /// are decorrelated). The result's `reliability` carries the merged
+  /// telemetry; wrong_reads > 0 means the scheme silently lied.
+  [[nodiscard]] TraceRunResult run_with_faults(
+      const faults::FaultSpec& fault_spec,
+      const StressOptions& options = {}) const;
+
+  /// Ramp fault intensity until (and past) each scheme's breaking point.
+  [[nodiscard]] FaultSweepResult run_fault_sweep(
+      const FaultSweepOptions& options = {}) const;
+
  private:
+  [[nodiscard]] TraceRunResult run_stress_impl(
+      const StressOptions& options,
+      const faults::FaultSpec* fault_spec) const;
+
   SchemeSpec spec_;
   SchemeInstance instance_;
 };

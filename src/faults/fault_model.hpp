@@ -1,0 +1,73 @@
+// The seeded deterministic static-fault model (Chlebus-Gasieniec-Pelc
+// style): which modules are dead, which copies/shares are stuck, and
+// which stores corrupt is fixed by (seed, sizes) before the computation
+// starts and never changes during it. Two FaultModels built from the same
+// spec answer every query identically — fault sweeps are exactly
+// replayable from a printed seed, like everything else in pramsim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/faults.hpp"
+#include "util/rng.hpp"
+
+namespace pramsim::faults {
+
+/// Fault intensities. Counts are exact (sampled without replacement);
+/// rates are per-unit Bernoulli probabilities decided by seeded hashing,
+/// so the SAME units fail regardless of access order.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  /// Exactly this many modules die (clamped to the module count).
+  std::uint32_t dead_modules = 0;
+  /// Additionally, each module dies independently with this probability.
+  double module_kill_rate = 0.0;
+  /// Each (entity, copy) storage cell is stuck-at garbage w.p. this.
+  double stuck_rate = 0.0;
+  /// Each store commits a silently corrupted word w.p. this.
+  double corruption_rate = 0.0;
+
+  [[nodiscard]] bool inert() const {
+    return dead_modules == 0 && module_kill_rate == 0.0 &&
+           stuck_rate == 0.0 && corruption_rate == 0.0;
+  }
+};
+
+/// Scale a prototype's rate axes by `rate` (fault sweeps ramp this);
+/// counts and seed pass through unchanged.
+[[nodiscard]] FaultSpec at_rate(FaultSpec proto, double rate);
+
+/// The deterministic pram::FaultHooks implementation. The dead-module
+/// set is materialized at construction; stuck/corruption answers are
+/// pure seeded-hash functions of their arguments.
+class FaultModel final : public pram::FaultHooks {
+ public:
+  FaultModel(FaultSpec spec, std::uint32_t n_modules);
+
+  [[nodiscard]] bool module_dead(ModuleId module) const override;
+  [[nodiscard]] bool stuck_at(std::uint64_t entity, std::uint32_t copy,
+                              pram::Word& value) const override;
+  [[nodiscard]] bool corrupt_write(std::uint64_t entity, std::uint32_t copy,
+                                   std::uint64_t stamp,
+                                   pram::Word& value) const override;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint32_t n_modules() const {
+    return static_cast<std::uint32_t>(dead_.size());
+  }
+  [[nodiscard]] std::uint32_t dead_module_count() const { return n_dead_; }
+  [[nodiscard]] std::vector<ModuleId> dead_modules() const;
+
+ private:
+  /// Seeded avalanche over (tag, a, b, c): the one source of per-unit
+  /// fault randomness.
+  [[nodiscard]] std::uint64_t mix(std::uint64_t tag, std::uint64_t a,
+                                  std::uint64_t b, std::uint64_t c) const;
+
+  FaultSpec spec_;
+  std::vector<std::uint8_t> dead_;  ///< per-module death flags
+  std::uint32_t n_dead_ = 0;
+};
+
+}  // namespace pramsim::faults

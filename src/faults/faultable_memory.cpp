@@ -1,0 +1,131 @@
+#include "faults/faultable_memory.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pramsim::faults {
+
+FaultableMemory::FaultableMemory(std::unique_ptr<pram::MemorySystem> inner,
+                                 FaultSpec spec)
+    : inner_(std::move(inner)),
+      model_(spec, inner_ == nullptr ? 1 : inner_->num_modules()) {
+  PRAMSIM_ASSERT(inner_ != nullptr);
+  inner_injects_ = inner_->set_fault_hooks(&model_);
+}
+
+ModuleId FaultableMemory::synthetic_module(VarId var) const {
+  const std::uint32_t M = std::max(model_.n_modules(), 1u);
+  return ModuleId(static_cast<std::uint32_t>(
+      util::SplitMix64(var.index() * 0x9E3779B97F4A7C15ULL).next() % M));
+}
+
+pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
+                                        std::span<pram::Word> read_values,
+                                        std::span<const pram::VarWrite> writes) {
+  ++steps_;
+  pram::MemStepCost cost;
+  // Reads flagged as known-bad (dead module / under-threshold block)
+  // this step: excluded from the silent-wrong count — a flagged loss is
+  // an outage, not a lie.
+  std::vector<bool> flagged(reads.size(), false);
+
+  if (inner_injects_) {
+    cost = inner_->step(reads, read_values, writes);
+    const std::vector<bool>& inner_flags = inner_->flagged_reads();
+    for (std::size_t i = 0; i < reads.size() && i < inner_flags.size();
+         ++i) {
+      flagged[i] = inner_flags[i];
+    }
+  } else {
+    // Wrapper-level degradation: drop writes whose synthetic module is
+    // dead, corrupt the words of surviving stores.
+    std::vector<pram::VarWrite> degraded;
+    degraded.reserve(writes.size());
+    for (const auto& write : writes) {
+      if (model_.module_dead(synthetic_module(write.var))) {
+        ++wrapper_stats_.writes_dropped;
+        continue;
+      }
+      pram::VarWrite w = write;
+      if (model_.corrupt_write(w.var.index(), 0, steps_, w.value)) {
+        ++wrapper_stats_.corrupt_stores;
+      }
+      degraded.push_back(w);
+    }
+    cost = inner_->step(reads, read_values, degraded);
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      ++wrapper_stats_.reads_served;
+      if (model_.module_dead(synthetic_module(reads[i]))) {
+        read_values[i] = 0;
+        flagged[i] = true;
+        ++wrapper_stats_.uncorrectable;
+        ++wrapper_stats_.erasures_skipped;
+        ++wrapper_stats_.units_faulty;
+        continue;
+      }
+      pram::Word stuck = 0;
+      if (model_.stuck_at(reads[i].index(), 0, stuck)) {
+        read_values[i] = stuck;
+        ++wrapper_stats_.units_faulty;
+      }
+    }
+  }
+
+  // Oracle pass (reads observe pre-step state, so check before the
+  // writes commit to the checker). Flagged reads are excluded from the
+  // mismatch count — both injection regimes report exactly which reads
+  // were served below threshold, so wrong_reads counts ONLY silent lies.
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (flagged[i]) {
+      (void)checker_.check_read(reads[i], checker_.expected(reads[i]));
+      continue;  // counted as checked-consistent: the loss was flagged
+    }
+    if (!checker_.check_read(reads[i], read_values[i])) {
+      ++wrapper_stats_.wrong_reads;
+    }
+  }
+
+  for (const auto& write : writes) {
+    checker_.record_write(write.var, write.value);
+  }
+  return cost;
+}
+
+pram::Word FaultableMemory::peek(VarId var) const {
+  if (!inner_injects_) {
+    if (model_.module_dead(synthetic_module(var))) {
+      return 0;
+    }
+    pram::Word stuck = 0;
+    if (model_.stuck_at(var.index(), 0, stuck)) {
+      return stuck;
+    }
+  }
+  return inner_->peek(var);
+}
+
+void FaultableMemory::poke(VarId var, pram::Word value) {
+  checker_.record_write(var, value);
+  if (!inner_injects_) {
+    if (model_.module_dead(synthetic_module(var))) {
+      ++wrapper_stats_.writes_dropped;
+      return;
+    }
+    if (model_.corrupt_write(var.index(), 0, steps_, value)) {
+      ++wrapper_stats_.corrupt_stores;
+    }
+  }
+  inner_->poke(var, value);
+}
+
+pram::ReliabilityStats FaultableMemory::reliability() const {
+  pram::ReliabilityStats merged = wrapper_stats_;
+  merged.merge(inner_->reliability());
+  return merged;
+}
+
+}  // namespace pramsim::faults

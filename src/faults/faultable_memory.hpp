@@ -1,0 +1,91 @@
+// FaultableMemory: degrade ANY pram::MemorySystem under a seeded static
+// FaultModel and verify every surviving read against a trace-consistency
+// oracle — the adversity harness the paper's redundancy claims are
+// scored on.
+//
+// Two injection regimes, chosen automatically:
+//
+//  * replica-level (preferred): the inner scheme accepts the fault hooks
+//    (set_fault_hooks returns true) and applies them at its own copy/
+//    share granularity — majority voting really sees divergent copies,
+//    IDA really interpolates around missing shares. The wrapper then
+//    only contributes the oracle check (silent-wrong-read detection).
+//
+//  * wrapper-level (fallback): for schemes without replica hooks the
+//    wrapper degrades traffic externally — writes to dead (synthetic)
+//    modules are dropped, stored words may corrupt, stuck cells override
+//    reads. Coarser, but it makes every memory organization, even an
+//    opaque one, fault-sweepable.
+//
+// reliability() merges the wrapper's oracle counters with the inner
+// scheme's own telemetry, so callers read one struct either way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "faults/fault_model.hpp"
+#include "faults/trace_checker.hpp"
+#include "pram/memory_system.hpp"
+
+namespace pramsim::faults {
+
+class FaultableMemory final : public pram::MemorySystem {
+ public:
+  FaultableMemory(std::unique_ptr<pram::MemorySystem> inner, FaultSpec spec);
+
+  pram::MemStepCost step(std::span<const VarId> reads,
+                         std::span<pram::Word> read_values,
+                         std::span<const pram::VarWrite> writes) override;
+
+  [[nodiscard]] std::uint64_t size() const override {
+    return inner_->size();
+  }
+  /// Fault-aware like every replica-level scheme's peek: under
+  /// wrapper-level injection a dead synthetic module reads 0 and a
+  /// stuck cell reads its stuck value, so peek-based verifiers observe
+  /// what the degraded runtime reads observe.
+  [[nodiscard]] pram::Word peek(VarId var) const override;
+  void poke(VarId var, pram::Word value) override;
+
+  // The widened engine surface passes through to the wrapped scheme, so
+  // a FaultableMemory drops into pram::Machine and the pipeline exactly
+  // where the bare scheme did.
+  [[nodiscard]] double storage_redundancy() const override {
+    return inner_->storage_redundancy();
+  }
+  [[nodiscard]] const memmap::MemoryMap* memory_map() const override {
+    return inner_->memory_map();
+  }
+  [[nodiscard]] std::uint32_t num_modules() const override {
+    return inner_->num_modules();
+  }
+  [[nodiscard]] std::vector<VarId> adversarial_vars(
+      std::uint32_t count, std::uint64_t seed) const override {
+    return inner_->adversarial_vars(count, seed);
+  }
+  [[nodiscard]] pram::ReliabilityStats reliability() const override;
+
+  [[nodiscard]] const FaultModel& model() const { return model_; }
+  [[nodiscard]] const TraceChecker& checker() const { return checker_; }
+  /// True when the wrapped scheme injects at its own replica/share
+  /// granularity; false when the wrapper degrades it externally.
+  [[nodiscard]] bool replica_level_injection() const {
+    return inner_injects_;
+  }
+  [[nodiscard]] pram::MemorySystem& inner() { return *inner_; }
+
+ private:
+  /// Synthetic variable->module placement for wrapper-level injection on
+  /// schemes that expose no map of their own.
+  [[nodiscard]] ModuleId synthetic_module(VarId var) const;
+
+  std::unique_ptr<pram::MemorySystem> inner_;
+  FaultModel model_;
+  TraceChecker checker_;
+  bool inner_injects_ = false;
+  std::uint64_t steps_ = 0;  ///< wrapper-level corruption stamp
+  pram::ReliabilityStats wrapper_stats_;
+};
+
+}  // namespace pramsim::faults

@@ -1,0 +1,50 @@
+// Trace-consistency oracle, after Wei et al. ("Verifying PRAM
+// Consistency over Read/Write Traces of Data Replicas"): replay the
+// committed write trace on an ideal single-copy replica and validate
+// every observed read against it. A faulty memory can drop replicas and
+// still answer correctly (masked fault); what the checker catches is the
+// SILENT failure — a read that returned a value no correct replica ever
+// held. Storage is sparse (untouched cells read 0, like FlatMemory after
+// construction), so wrapping full-scale memories stays cheap.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pram/types.hpp"
+
+namespace pramsim::faults {
+
+class TraceChecker {
+ public:
+  /// Record a committed write (the IDEAL value, before any corruption).
+  void record_write(VarId var, pram::Word value) {
+    ideal_[var.index()] = value;
+  }
+
+  /// The value a correct memory must return for `var` right now.
+  [[nodiscard]] pram::Word expected(VarId var) const {
+    const auto it = ideal_.find(var.index());
+    return it == ideal_.end() ? 0 : it->second;
+  }
+
+  /// Validate an observed read; returns true when consistent.
+  bool check_read(VarId var, pram::Word observed) {
+    ++reads_checked_;
+    if (observed == expected(var)) {
+      return true;
+    }
+    ++mismatches_;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t reads_checked() const { return reads_checked_; }
+  [[nodiscard]] std::uint64_t mismatches() const { return mismatches_; }
+
+ private:
+  std::unordered_map<std::uint64_t, pram::Word> ideal_;
+  std::uint64_t reads_checked_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace pramsim::faults

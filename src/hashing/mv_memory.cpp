@@ -24,6 +24,7 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
                                  std::span<pram::Word> read_values,
                                  std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
+  ++steps_;
   // Distinct variables touched this step, per module.
   std::unordered_map<std::uint32_t, std::uint32_t> load;
   std::unordered_set<std::uint32_t> seen;
@@ -47,11 +48,19 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
   }
   load_stats_.add(static_cast<double>(max_load));
 
+  flagged_reads_.clear();
+  if (hooks_ != nullptr) {
+    flagged_reads_.assign(reads.size(), false);
+  }
   for (std::size_t i = 0; i < reads.size(); ++i) {
-    read_values[i] = cells_[reads[i].index()];
+    bool flagged = false;
+    read_values[i] = faulted_read(reads[i], &flagged);
+    if (hooks_ != nullptr) {
+      flagged_reads_[i] = flagged;
+    }
   }
   for (const auto& w : writes) {
-    cells_[w.var.index()] = w.value;
+    faulted_write(w.var, w.value);
   }
 
   if (config_.rehash_threshold != 0 && max_load > config_.rehash_threshold) {
@@ -68,14 +77,92 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
                            .max_queue = max_load};
 }
 
+pram::Word MvMemory::faulted_read(VarId var, bool* flagged) {
+  if (hooks_ == nullptr) {
+    return cells_[var.index()];
+  }
+  ++reliability_.reads_served;
+  if (hooks_->module_dead(ModuleId(module_of(var)))) {
+    ++reliability_.uncorrectable;
+    ++reliability_.erasures_skipped;
+    ++reliability_.units_faulty;
+    *flagged = true;
+    return 0;
+  }
+  pram::Word value = cells_[var.index()];
+  pram::Word stuck = 0;
+  if (hooks_->stuck_at(var.index(), 0, stuck)) {
+    ++reliability_.units_faulty;
+    value = stuck;  // single copy: nothing to out-vote the stuck cell
+  }
+  return value;
+}
+
+void MvMemory::faulted_write(VarId var, pram::Word value) {
+  if (hooks_ != nullptr) {
+    if (hooks_->module_dead(ModuleId(module_of(var)))) {
+      ++reliability_.writes_dropped;
+      return;
+    }
+    if (hooks_->corrupt_write(var.index(), 0, steps_, value)) {
+      ++reliability_.corrupt_stores;
+    }
+  }
+  cells_[var.index()] = value;
+}
+
+std::vector<VarId> MvMemory::adversarial_vars(std::uint32_t count,
+                                              std::uint64_t seed) const {
+  const std::uint64_t m = cells_.size();
+  count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(count, m));
+  if (count == 0) {
+    return {};
+  }
+  // Scan a window of the address space (expected count * M preimage
+  // tries), bucketing by module, until one module collects `count`
+  // preimages. The seed only rotates the scan origin: the attack is
+  // deterministic given the hash.
+  const std::uint64_t scan_cap = std::min<std::uint64_t>(
+      m, 1024 + 8ull * count * config_.n_modules);
+  const std::uint64_t origin = util::SplitMix64(seed).next() % m;
+  std::unordered_map<std::uint32_t, std::vector<VarId>> buckets;
+  std::size_t best = 0;
+  std::uint32_t best_module = 0;
+  for (std::uint64_t i = 0; i < scan_cap; ++i) {
+    const VarId var(static_cast<std::uint32_t>((origin + i) % m));
+    auto& bucket = buckets[module_of(var)];
+    bucket.push_back(var);
+    if (bucket.size() >= count) {
+      return bucket;
+    }
+    if (bucket.size() > best) {
+      best = bucket.size();
+      best_module = module_of(var);
+    }
+  }
+  return buckets[best_module];
+}
+
 pram::Word MvMemory::peek(VarId var) const {
   PRAMSIM_ASSERT(var.index() < cells_.size());
+  if (hooks_ != nullptr) {
+    if (hooks_->module_dead(ModuleId(module_of(var)))) {
+      return 0;
+    }
+    pram::Word stuck = 0;
+    if (hooks_->stuck_at(var.index(), 0, stuck)) {
+      return stuck;
+    }
+  }
   return cells_[var.index()];
 }
 
 void MvMemory::poke(VarId var, pram::Word value) {
   PRAMSIM_ASSERT(var.index() < cells_.size());
-  cells_[var.index()] = value;
+  // Out-of-band initialization still lands on faulty hardware: a dead
+  // module never learns the value.
+  faulted_write(var, value);
 }
 
 }  // namespace pramsim::hashing

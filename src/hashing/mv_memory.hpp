@@ -39,6 +39,29 @@ class MvMemory final : public pram::MemorySystem {
   [[nodiscard]] std::uint64_t size() const override { return cells_.size(); }
   [[nodiscard]] pram::Word peek(VarId var) const override;
   void poke(VarId var, pram::Word value) override;
+  [[nodiscard]] std::uint32_t num_modules() const override {
+    return config_.n_modules;
+  }
+  /// Single-copy storage has nothing to vote with: a dead module loses
+  /// its whole address range (uncorrectable), a stuck or corrupted cell
+  /// is silently wrong — the unreplicated baseline's measurable
+  /// disadvantage under adversity.
+  bool set_fault_hooks(const pram::FaultHooks* hooks) override {
+    hooks_ = hooks;
+    return true;
+  }
+  [[nodiscard]] pram::ReliabilityStats reliability() const override {
+    return reliability_;
+  }
+  [[nodiscard]] const std::vector<bool>& flagged_reads() const override {
+    return flagged_reads_;
+  }
+  /// The known-hash preimage attack: the adversary (who can read the
+  /// hash function out of the machine) returns `count` distinct
+  /// variables colliding on one module, forcing a serial step. This is
+  /// the worst-case traffic the scheme's expected-case analysis excludes.
+  [[nodiscard]] std::vector<VarId> adversarial_vars(
+      std::uint32_t count, std::uint64_t seed) const override;
 
   [[nodiscard]] std::uint32_t module_of(VarId var) const;
   [[nodiscard]] std::uint64_t rehashes() const { return rehashes_; }
@@ -47,12 +70,24 @@ class MvMemory final : public pram::MemorySystem {
   }
 
  private:
+  /// Read the single copy under fault injection (dead module ->
+  /// uncorrectable zero with *flagged set, stuck cell -> silently wrong
+  /// stuck value).
+  [[nodiscard]] pram::Word faulted_read(VarId var, bool* flagged);
+  /// Commit a write unless the cell's module is dead; the committed word
+  /// may be silently corrupted.
+  void faulted_write(VarId var, pram::Word value);
+
   MvMemoryConfig config_;
   util::Rng rng_;
   PolynomialHash hash_;
   std::vector<pram::Word> cells_;
   std::uint64_t rehashes_ = 0;
+  std::uint64_t steps_ = 0;  ///< step counter (corruption stamp)
   util::RunningStats load_stats_;  ///< per-step max module load
+  const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
+  pram::ReliabilityStats reliability_;
+  std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
 };
 
 }  // namespace pramsim::hashing

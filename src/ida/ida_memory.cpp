@@ -15,33 +15,107 @@ IdaMemory::IdaMemory(std::uint64_t m_vars, IdaMemoryConfig config)
       config_(config),
       disperser_({config.b, config.d}),
       n_blocks_(util::ceil_div(m_vars, config.b)),
-      shares_(n_blocks_ * config.d, 0),
       placement_(n_blocks_, config.n_modules, config.d, config.seed) {
   PRAMSIM_ASSERT(config_.n_modules >= config_.d);
-  // Encode the all-zero initial state so decode is always well-defined.
+  // One encoding of the all-zero block serves every untouched block, so
+  // construction is O(d) regardless of m (sparse storage).
   const std::vector<pram::Word> zero_block(config_.b, 0);
-  const auto encoded = disperser_.encode_words(zero_block);
-  for (std::uint64_t blk = 0; blk < n_blocks_; ++blk) {
-    std::copy(encoded.begin(), encoded.end(),
-              shares_.begin() + static_cast<std::ptrdiff_t>(blk * config_.d));
-  }
+  zero_shares_ = disperser_.encode_words(zero_block);
 }
 
-std::vector<pram::Word> IdaMemory::decode_block(std::uint64_t block) const {
-  std::vector<std::uint32_t> indices(config_.b);
-  std::iota(indices.begin(), indices.end(), 0);
-  std::vector<pram::Word> vals(config_.b);
-  for (std::uint32_t j = 0; j < config_.b; ++j) {
-    vals[j] = shares_[block * config_.d + j];
+pram::Word IdaMemory::share_at(std::uint64_t block, std::uint32_t j) const {
+  const auto it = shares_.find(block);
+  return it == shares_.end() ? zero_shares_[j] : it->second[j];
+}
+
+std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
+                                                 std::uint32_t* erased,
+                                                 std::uint32_t* faulty,
+                                                 bool* ok) const {
+  std::vector<std::uint32_t> indices;
+  std::vector<pram::Word> vals;
+  indices.reserve(config_.b);
+  vals.reserve(config_.b);
+  if (hooks_ == nullptr) {
+    for (std::uint32_t j = 0; j < config_.b; ++j) {
+      indices.push_back(j);
+      vals.push_back(share_at(block, j));
+    }
+    return disperser_.recover_words(indices, vals);
+  }
+  std::vector<ModuleId> modules(config_.d);
+  placement_.copies_into(VarId(static_cast<std::uint32_t>(block)), modules);
+  for (std::uint32_t j = 0; j < config_.d; ++j) {
+    if (hooks_->module_dead(modules[j])) {
+      ++*erased;
+      continue;
+    }
+    if (indices.size() == config_.b) {
+      continue;  // already have enough survivors; keep counting erasures
+    }
+    pram::Word value = share_at(block, j);
+    pram::Word stuck = 0;
+    if (hooks_->stuck_at(block, j, stuck)) {
+      // A stuck share is indistinguishable from a healthy one: it joins
+      // the interpolation and silently poisons the whole block (IDA
+      // corrects erasures, not errors).
+      value = stuck;
+      ++*faulty;
+    }
+    indices.push_back(j);
+    vals.push_back(value);
+  }
+  if (indices.size() < config_.b) {
+    *ok = false;
+    return std::vector<pram::Word>(config_.b, 0);
   }
   return disperser_.recover_words(indices, vals);
+}
+
+std::vector<pram::Word> IdaMemory::decode_block(std::uint64_t block) {
+  std::uint32_t erased = 0;
+  std::uint32_t faulty = 0;
+  bool ok = true;
+  auto vals = recover_block(block, &erased, &faulty, &ok);
+  if (hooks_ != nullptr) {
+    // Share-unit counters accrue per decode; the READ-unit counters
+    // (faults_masked, uncorrectable) are attributed per variable read
+    // in step(), so cross-scheme reliability ratios compare like units.
+    reliability_.erasures_skipped += erased;
+    reliability_.units_faulty += erased + faulty;
+    if (!ok) {
+      reliability_.shares_short +=
+          config_.b - (config_.d - std::min(erased, config_.d));
+      failed_blocks_.insert(block);
+    } else if (erased + faulty > 0) {
+      degraded_blocks_.insert(block);
+    }
+  }
+  return vals;
 }
 
 void IdaMemory::encode_block(std::uint64_t block,
                              std::span<const pram::Word> values) {
   const auto encoded = disperser_.encode_words(values);
-  std::copy(encoded.begin(), encoded.end(),
-            shares_.begin() + static_cast<std::ptrdiff_t>(block * config_.d));
+  auto& row = shares_.try_emplace(block, zero_shares_).first->second;
+  if (hooks_ == nullptr) {
+    std::copy(encoded.begin(), encoded.end(), row.begin());
+    return;
+  }
+  ++store_ops_;
+  std::vector<ModuleId> modules(config_.d);
+  placement_.copies_into(VarId(static_cast<std::uint32_t>(block)), modules);
+  for (std::uint32_t j = 0; j < config_.d; ++j) {
+    if (hooks_->module_dead(modules[j])) {
+      ++reliability_.writes_dropped;
+      continue;
+    }
+    pram::Word word = encoded[j];
+    if (hooks_->corrupt_write(block, j, store_ops_, word)) {
+      ++reliability_.corrupt_stores;
+    }
+    row[j] = word;
+  }
 }
 
 pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
@@ -50,6 +124,9 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   PRAMSIM_ASSERT(reads.size() == read_values.size());
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
+  failed_blocks_.clear();
+  degraded_blocks_.clear();
+  flagged_reads_.clear();
 
   // ---- gather per-block work --------------------------------------
   std::unordered_set<std::uint64_t> read_blocks;
@@ -99,10 +176,24 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   for (const auto blk : read_blocks) {
     decoded.emplace(blk, decode_block(blk));
   }
+  if (hooks_ != nullptr) {
+    flagged_reads_.assign(reads.size(), false);
+  }
   for (std::size_t i = 0; i < reads.size(); ++i) {
     const auto blk = block_of(reads[i]);
     read_values[i] = decoded.at(blk)[reads[i].index() % config_.b];
     ++vars_accessed_;
+    if (hooks_ != nullptr) {
+      ++reliability_.reads_served;
+      // Every read of an under-threshold block is a FLAGGED loss;
+      // reads of a degraded-but-reconstructed block are masked faults.
+      if (failed_blocks_.count(blk) != 0) {
+        flagged_reads_[i] = true;
+        ++reliability_.uncorrectable;
+      } else if (degraded_blocks_.count(blk) != 0) {
+        ++reliability_.faults_masked;
+      }
+    }
   }
   const std::uint32_t read_rounds =
       module_load.empty() ? 0
@@ -139,7 +230,11 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
 
 pram::Word IdaMemory::peek(VarId var) const {
   PRAMSIM_ASSERT(var.index() < m_vars_);
-  return decode_block(block_of(var))[var.index() % config_.b];
+  std::uint32_t erased = 0;
+  std::uint32_t faulty = 0;
+  bool ok = true;
+  return recover_block(block_of(var), &erased, &faulty,
+                       &ok)[var.index() % config_.b];
 }
 
 void IdaMemory::poke(VarId var, pram::Word value) {

@@ -11,10 +11,25 @@
 // is the scheme's congestion-dodging trick); writes are read-modify-write
 // and must update all d shares. Reads of a step are served first (they
 // see pre-step state), then writes commit.
+//
+// Share storage is sparse (same trick as the sparse majority::CopyStore):
+// a block's d shares are materialized on its first write; untouched
+// blocks decode from one precomputed all-zero encoding, so full-scale
+// memories (m = n^k) are cheap to build.
+//
+// Under pram::FaultHooks the scheme runs degraded: shares on dead modules
+// are erasures, reconstruction interpolates from ANY b surviving share
+// indices (the erasure-code guarantee, exercised for real), and a block
+// with fewer than b survivors is uncorrectable. Silently corrupted or
+// stuck shares poison the Lagrange interpolation — IDA is an erasure
+// code, not an error-correcting one, which is exactly the reliability
+// contrast with majority voting.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ida/dispersal.hpp"
@@ -45,6 +60,19 @@ class IdaMemory final : public pram::MemorySystem {
   [[nodiscard]] double storage_redundancy() const override {
     return disperser_.storage_factor();
   }
+  [[nodiscard]] std::uint32_t num_modules() const override {
+    return config_.n_modules;
+  }
+  bool set_fault_hooks(const pram::FaultHooks* hooks) override {
+    hooks_ = hooks;
+    return true;
+  }
+  [[nodiscard]] pram::ReliabilityStats reliability() const override {
+    return reliability_;
+  }
+  [[nodiscard]] const std::vector<bool>& flagged_reads() const override {
+    return flagged_reads_;
+  }
 
   // ----- scheme accounting -----
   [[nodiscard]] double storage_factor() const {
@@ -52,6 +80,10 @@ class IdaMemory final : public pram::MemorySystem {
   }
   [[nodiscard]] std::uint32_t block_size() const { return config_.b; }
   [[nodiscard]] std::uint64_t num_blocks() const { return n_blocks_; }
+  /// Blocks with at least one written share (sparse-storage accounting).
+  [[nodiscard]] std::uint64_t touched_blocks() const {
+    return shares_.size();
+  }
   /// Variables processed (decoded) per variable accessed so far.
   [[nodiscard]] double work_amplification() const;
   [[nodiscard]] std::uint64_t share_accesses() const {
@@ -62,21 +94,45 @@ class IdaMemory final : public pram::MemorySystem {
   [[nodiscard]] std::uint64_t block_of(VarId var) const {
     return var.index() / config_.b;
   }
-  /// Decode a block from its stored shares (verification path).
-  [[nodiscard]] std::vector<pram::Word> decode_block(std::uint64_t block) const;
+  /// Share j of `block` as stored (all-zero encoding if untouched).
+  [[nodiscard]] pram::Word share_at(std::uint64_t block,
+                                    std::uint32_t j) const;
+  /// Decode a block and account erasures/threshold misses into
+  /// reliability_ when running under fault hooks.
+  [[nodiscard]] std::vector<pram::Word> decode_block(std::uint64_t block);
+  /// The recovery rule itself (shared by decode_block and peek): healthy
+  /// path reads shares 0..b-1; under fault hooks it interpolates from
+  /// the first b SURVIVING share indices. Reports dead shares in
+  /// `erased`, stuck shares that silently joined the interpolation in
+  /// `faulty`, and clears `ok` (returning the zero block) when fewer
+  /// than b shares survive.
+  [[nodiscard]] std::vector<pram::Word> recover_block(std::uint64_t block,
+                                                      std::uint32_t* erased,
+                                                      std::uint32_t* faulty,
+                                                      bool* ok) const;
   void encode_block(std::uint64_t block, std::span<const pram::Word> values);
 
   std::uint64_t m_vars_;
   IdaMemoryConfig config_;
   Disperser disperser_;
   std::uint64_t n_blocks_;
-  /// Share storage: block-major, d share-words per block.
-  std::vector<pram::Word> shares_;
+  /// Sparse share storage: block -> its d share-words, materialized on
+  /// first write. Untouched blocks read as zero_shares_.
+  std::unordered_map<std::uint64_t, std::vector<pram::Word>> shares_;
+  std::vector<pram::Word> zero_shares_;  ///< encoding of the zero block
   /// Placement of each block's d shares over the modules.
   memmap::HashedMap placement_;
   std::uint64_t share_accesses_ = 0;
   std::uint64_t vars_accessed_ = 0;
   std::uint64_t vars_processed_ = 0;
+  std::uint64_t store_ops_ = 0;  ///< encode counter (corruption stamp)
+  const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
+  pram::ReliabilityStats reliability_;
+  /// Blocks whose last decode fell below threshold (reset per step).
+  std::unordered_set<std::uint64_t> failed_blocks_;
+  /// Blocks reconstructed around >= 1 bad share (reset per step).
+  std::unordered_set<std::uint64_t> degraded_blocks_;
+  std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
 };
 
 }  // namespace pramsim::ida

@@ -35,4 +35,71 @@ void CopyStore::corrupt(VarId var, std::uint32_t copy,
   row(var)[copy].value = bogus_value;
 }
 
+CopyStore::VoteOutcome CopyStore::vote(VarId var,
+                                       std::span<const ModuleId> modules,
+                                       const pram::FaultHooks& hooks) const {
+  PRAMSIM_ASSERT(modules.size() == r_);
+  VoteOutcome outcome;
+  // r <= 64 candidates: count multiplicities quadratically, no allocation.
+  Copy ballots[64];
+  for (std::uint32_t i = 0; i < r_; ++i) {
+    if (hooks.module_dead(modules[i])) {
+      ++outcome.erased;
+      continue;
+    }
+    Copy ballot = at(var, i);
+    pram::Word stuck = 0;
+    if (hooks.stuck_at(var.index(), i, stuck)) {
+      ballot.value = stuck;  // the stamp it claims is whatever was stored
+    }
+    ballots[outcome.survivors++] = ballot;
+  }
+  if (outcome.survivors == 0) {
+    return outcome;  // winner stays {0, 0}; caller flags uncorrectable
+  }
+  std::uint32_t best_count = 0;
+  for (std::uint32_t i = 0; i < outcome.survivors; ++i) {
+    std::uint32_t count = 0;
+    for (std::uint32_t j = 0; j < outcome.survivors; ++j) {
+      if (ballots[j].value == ballots[i].value &&
+          ballots[j].stamp == ballots[i].stamp) {
+        ++count;
+      }
+    }
+    const bool wins =
+        count > best_count ||
+        (count == best_count &&
+         (ballots[i].stamp > outcome.winner.stamp ||
+          (ballots[i].stamp == outcome.winner.stamp &&
+           ballots[i].value < outcome.winner.value)));
+    if (wins) {
+      best_count = count;
+      outcome.winner = ballots[i];
+    }
+  }
+  outcome.dissenting = outcome.survivors - best_count;
+  return outcome;
+}
+
+std::uint32_t CopyStore::store_all(VarId var,
+                                   std::span<const ModuleId> modules,
+                                   pram::Word value, std::uint64_t stamp,
+                                   const pram::FaultHooks& hooks,
+                                   std::uint64_t& corrupt_stores) {
+  PRAMSIM_ASSERT(modules.size() == r_);
+  std::uint32_t dropped = 0;
+  for (std::uint32_t i = 0; i < r_; ++i) {
+    if (hooks.module_dead(modules[i])) {
+      ++dropped;
+      continue;
+    }
+    pram::Word committed = value;
+    if (hooks.corrupt_write(var.index(), i, stamp, committed)) {
+      ++corrupt_stores;
+    }
+    write(var, i, committed, stamp);
+  }
+  return dropped;
+}
+
 }  // namespace pramsim::majority

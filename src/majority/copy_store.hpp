@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "pram/faults.hpp"
 #include "pram/types.hpp"
 #include "util/assert.hpp"
 #include "util/strong_id.hpp"
@@ -64,6 +66,38 @@ class CopyStore {
   /// Failure injection (tests): overwrite a copy's value *without*
   /// advancing its stamp, emulating a stale/corrupted replica.
   void corrupt(VarId var, std::uint32_t copy, pram::Word bogus_value);
+
+  // ----- copy-level fault surface (degraded-mode protocol) -----
+
+  /// Outcome of a majority vote over a variable's surviving copies.
+  struct VoteOutcome {
+    Copy winner;                  ///< elected (value, stamp); {0,0} if none
+    std::uint32_t survivors = 0;  ///< copies that cast a vote
+    std::uint32_t erased = 0;     ///< copies skipped (dead module)
+    std::uint32_t dissenting = 0; ///< survivors disagreeing with the winner
+  };
+
+  /// Majority vote over all r copies of `var` under fault injection:
+  /// copies on dead modules are erasures; stuck-at copies vote their
+  /// stuck value. The winner is the (value, stamp) pair with the largest
+  /// multiplicity (ties: fresher stamp, then smaller value — both
+  /// deterministic). `modules` is the variable's copy placement (size r).
+  /// With write-through stores (store_all) every healthy copy agrees, so
+  /// the vote recovers the committed value as long as healthy copies
+  /// outnumber every colluding faulty subset — in particular it survives
+  /// floor((r-1)/2) arbitrary bad copies with no erasures.
+  [[nodiscard]] VoteOutcome vote(VarId var,
+                                 std::span<const ModuleId> modules,
+                                 const pram::FaultHooks& hooks) const;
+
+  /// Degraded-mode write-through: store (value, stamp) into every copy of
+  /// `var` whose module is alive, letting `hooks` corrupt individual
+  /// stores. Returns the number of copies lost to dead modules; the count
+  /// of silently corrupted stores is added to `corrupt_stores`.
+  std::uint32_t store_all(VarId var, std::span<const ModuleId> modules,
+                          pram::Word value, std::uint64_t stamp,
+                          const pram::FaultHooks& hooks,
+                          std::uint64_t& corrupt_stores);
 
  private:
   [[nodiscard]] std::vector<Copy>& row(VarId var) {

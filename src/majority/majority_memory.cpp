@@ -60,35 +60,82 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
   time_stats_.add(static_cast<double>(result.time));
   last_stats_ = result.stats;
 
-  // Reads first: freshest stamp among the >= c accessed copies.
-  for (std::size_t i = 0; i < reads.size(); ++i) {
-    read_values[i] =
-        store_.freshest(reads[i], result.accessed_mask[read_req[i]]).value;
-  }
-  // Then writes: stamp the accessed copies with this step's number.
   const std::uint32_t r = engine_->map().redundancy();
-  for (std::size_t i = 0; i < writes.size(); ++i) {
-    const std::uint64_t mask = result.accessed_mask[write_req[i]];
-    for (std::uint32_t copy = 0; copy < r; ++copy) {
-      if ((mask >> copy) & 1ULL) {
-        store_.write(writes[i].var, copy, writes[i].value, stamp_);
+  std::uint64_t fault_work = 0;
+  flagged_reads_.clear();
+  if (hooks_ == nullptr) {
+    // Healthy protocol: reads take the freshest stamp among the >= c
+    // accessed copies; writes stamp exactly the accessed copies.
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      read_values[i] =
+          store_.freshest(reads[i], result.accessed_mask[read_req[i]]).value;
+    }
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      const std::uint64_t mask = result.accessed_mask[write_req[i]];
+      for (std::uint32_t copy = 0; copy < r; ++copy) {
+        if ((mask >> copy) & 1ULL) {
+          store_.write(writes[i].var, copy, writes[i].value, stamp_);
+        }
       }
+    }
+  } else {
+    // Degraded-mode protocol: majority-vote reads over every surviving
+    // copy, write-through to every surviving copy. The engine's schedule
+    // still prices the step; the widened copy traffic is extra work.
+    std::vector<ModuleId> modules(r);
+    flagged_reads_.assign(reads.size(), false);
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      engine_->map().copies_into(reads[i], modules);
+      const auto outcome = store_.vote(reads[i], modules, *hooks_);
+      read_values[i] = outcome.winner.value;
+      ++reliability_.reads_served;
+      reliability_.erasures_skipped += outcome.erased;
+      reliability_.units_faulty += outcome.erased + outcome.dissenting;
+      fault_work += outcome.survivors;
+      if (outcome.survivors == 0) {
+        ++reliability_.uncorrectable;
+        flagged_reads_[i] = true;
+      } else if (outcome.erased + outcome.dissenting > 0) {
+        ++reliability_.faults_masked;
+      }
+    }
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      engine_->map().copies_into(writes[i].var, modules);
+      reliability_.writes_dropped +=
+          store_.store_all(writes[i].var, modules, writes[i].value, stamp_,
+                           *hooks_, reliability_.corrupt_stores);
+      fault_work += r;
     }
   }
 
   return pram::MemStepCost{.time = result.time,
-                           .work = result.work,
+                           .work = result.work + fault_work,
                            .live_after_stage1 = result.stats.live_after_stage1,
                            .max_queue = result.stats.max_queue};
 }
 
 pram::Word MajorityMemory::peek(VarId var) const {
+  if (hooks_ != nullptr) {
+    // A fault-aware verifier reads the way the degraded protocol does.
+    std::vector<ModuleId> modules(engine_->map().redundancy());
+    engine_->map().copies_into(var, modules);
+    return store_.vote(var, modules, *hooks_).winner.value;
+  }
   return store_.ground_truth(var).value;
 }
 
 void MajorityMemory::poke(VarId var, pram::Word value) {
   // Out-of-band initialization: set every copy so the poke is the ground
-  // truth regardless of which copies later reads access.
+  // truth regardless of which copies later reads access. Under fault
+  // injection, initialization is subject to the same static faults as
+  // any other store (dead modules never learn the value).
+  if (hooks_ != nullptr) {
+    std::vector<ModuleId> modules(engine_->map().redundancy());
+    engine_->map().copies_into(var, modules);
+    reliability_.writes_dropped += store_.store_all(
+        var, modules, value, stamp_, *hooks_, reliability_.corrupt_stores);
+    return;
+  }
   for (std::uint32_t copy = 0; copy < engine_->map().redundancy(); ++copy) {
     store_.write(var, copy, value, stamp_);
   }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "majority/copy_store.hpp"
 #include "majority/engine.hpp"
@@ -46,6 +47,25 @@ class MajorityMemory final : public pram::MemorySystem {
   [[nodiscard]] const memmap::MemoryMap* memory_map() const override {
     return &engine_->map();
   }
+  [[nodiscard]] std::uint32_t num_modules() const override {
+    return engine_->map().num_modules();
+  }
+
+  /// Switch to the degraded-mode protocol: writes store through to every
+  /// surviving copy and reads majority-vote over all survivors (the
+  /// engine still prices the step; the extra copy traffic shows up as
+  /// work). With hooks installed, peek() also votes, so verification
+  /// observes what a fault-aware reader would.
+  bool set_fault_hooks(const pram::FaultHooks* hooks) override {
+    hooks_ = hooks;
+    return true;
+  }
+  [[nodiscard]] pram::ReliabilityStats reliability() const override {
+    return reliability_;
+  }
+  [[nodiscard]] const std::vector<bool>& flagged_reads() const override {
+    return flagged_reads_;
+  }
 
   // ----- introspection for tests / benches -----
   [[nodiscard]] AccessEngine& engine() { return *engine_; }
@@ -71,6 +91,9 @@ class MajorityMemory final : public pram::MemorySystem {
   std::uint32_t n_processors_;
   util::RunningStats time_stats_;
   ProtocolStats last_stats_;
+  const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
+  pram::ReliabilityStats reliability_;
+  std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
 };
 
 }  // namespace pramsim::majority

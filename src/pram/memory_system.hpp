@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "pram/faults.hpp"
 #include "pram/types.hpp"
 
 namespace pramsim::memmap {
@@ -72,6 +73,46 @@ class MemorySystem {
   /// (lets drivers build map-adversarial batches); nullptr otherwise.
   [[nodiscard]] virtual const memmap::MemoryMap* memory_map() const {
     return nullptr;
+  }
+
+  /// Number of memory modules the organization spreads storage over
+  /// (M); 1 for monolithic memories. Sizes the fault model's kill set.
+  [[nodiscard]] virtual std::uint32_t num_modules() const { return 1; }
+
+  /// Install copy/share-level fault injection. Returns true when the
+  /// scheme applies the hooks itself at its replica/share granularity
+  /// (divergent copies, missing shares); false when it cannot, in which
+  /// case a wrapper (faults::FaultableMemory) degrades it externally.
+  /// Passing nullptr clears a previous installation. Static faults only:
+  /// install before serving traffic, never between steps.
+  virtual bool set_fault_hooks(const FaultHooks* hooks) {
+    (void)hooks;
+    return false;
+  }
+
+  /// Reliability telemetry accumulated while serving under fault hooks
+  /// (all-zero when none are installed or the scheme ignores them).
+  [[nodiscard]] virtual ReliabilityStats reliability() const { return {}; }
+
+  /// Per-read outage flags for the most recent step() served under
+  /// fault hooks: flags[i] true means reads[i] fell below the scheme's
+  /// reconstruction threshold and its value is a FLAGGED loss, not a
+  /// candidate lie (the trace-consistency oracle must not count it as a
+  /// silent wrong read). Empty when the last step flagged nothing.
+  [[nodiscard]] virtual const std::vector<bool>& flagged_reads() const {
+    static const std::vector<bool> kNone;
+    return kNone;
+  }
+
+  /// Scheme-chosen worst-case traffic: up to `count` distinct variables
+  /// crafted against the scheme's own placement knowledge (e.g. the
+  /// hashed baseline's known-hash preimage attack). Empty when the
+  /// scheme has no better adversary than the map-based generator.
+  [[nodiscard]] virtual std::vector<VarId> adversarial_vars(
+      std::uint32_t count, std::uint64_t seed) const {
+    (void)count;
+    (void)seed;
+    return {};
   }
 };
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -225,13 +226,31 @@ TEST(Driver, StressShardsAcrossTrialsDeterministically) {
   EXPECT_DOUBLE_EQ(one.work.mean(), two.work.mean());
 }
 
-TEST(Driver, StressSkipsAdversarialWhenSchemeHasNoMap) {
+TEST(Driver, StressUsesKnownHashPreimageAttackForMaplessSchemes) {
   SimulationPipeline pipeline({.kind = SchemeKind::kHashed, .n = 64});
   const auto result =
       pipeline.run_stress({.steps_per_family = 3, .seed = 21});
-  // No memory map: only the 3 families x 3 steps run.
-  EXPECT_EQ(result.steps, 9u);
+  // No memory map, but the hashed baseline knows its own hash: 3
+  // families x 3 steps PLUS 3 known-hash preimage batches.
+  EXPECT_EQ(result.steps, 12u);
   EXPECT_DOUBLE_EQ(result.storage_factor, 1.0);
+
+  // The attack itself: every returned variable collides on one module,
+  // so the batch costs a full serialization (time ~ batch size).
+  const auto& memory = *pipeline.scheme().memory;
+  const auto vars = memory.adversarial_vars(64, 99);
+  ASSERT_EQ(vars.size(), 64u);
+  std::unordered_set<std::uint32_t> distinct;
+  for (const auto var : vars) {
+    distinct.insert(var.value());
+  }
+  EXPECT_EQ(distinct.size(), 64u);
+  pram::AccessBatch batch;
+  for (std::uint32_t i = 0; i < vars.size(); ++i) {
+    batch.push_back({ProcId(i), pram::AccessOp::kRead, vars[i], 0});
+  }
+  const auto cost = pipeline.run_batch(batch);
+  EXPECT_EQ(cost.time, 64u);  // one module serves all 64 requests serially
 }
 
 // ------------------------------------- end-to-end, all schemes ----------
