@@ -1,0 +1,174 @@
+// Serve-path throughput: steps/sec for every SchemeKind, native plan
+// path (MemorySystem::serve over prebuilt arena-backed AccessPlans)
+// versus the legacy step() adapter (the default serve() body: forward
+// plan.reads/plan.writes to step(), which rebuilds its per-step dedup
+// containers). Written to BENCH_throughput.json via bench::Reporter —
+// this file seeds the repo's perf trajectory, so keep the configurations
+// stable across PRs.
+//
+// A second table measures the pipeline end to end: run_stress wall time
+// with the double-buffered, within-trial-sharded driver.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/plan_builder.hpp"
+#include "core/schemes.hpp"
+#include "pram/trace.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pramsim;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Raw batches for the serve loop: alternating permutation / uniform
+/// steps (distinct-heavy and collision-heavy traffic).
+std::vector<pram::AccessBatch> make_bench_trace(std::uint32_t n,
+                                                std::uint64_t m,
+                                                std::size_t steps) {
+  util::Rng rng(17);
+  std::vector<pram::AccessBatch> trace;
+  trace.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto family = (i % 2 == 0) ? pram::TraceFamily::kPermutation
+                                     : pram::TraceFamily::kUniform;
+    trace.push_back(pram::make_batch(family, n, m, rng));
+  }
+  return trace;
+}
+
+struct Throughput {
+  double legacy_steps_per_sec = 0.0;
+  double plan_steps_per_sec = 0.0;
+};
+
+/// Time both entries on fresh instances of the same spec over the same
+/// prebuilt plans. Plans are built once outside both timed loops: the
+/// contrast isolated here is "consume the precomputed joins" vs "rebuild
+/// the per-step containers inside step()".
+Throughput measure(const core::SchemeSpec& spec,
+                   const std::vector<pram::AccessBatch>& trace,
+                   double budget_sec) {
+  Throughput out;
+  auto native = core::make_memory(spec);
+  auto legacy = core::make_memory(spec);
+
+  std::vector<std::unique_ptr<core::PlanBuilder>> builders;
+  builders.reserve(trace.size());
+  std::vector<const pram::AccessPlan*> plans;
+  plans.reserve(trace.size());
+  for (const auto& batch : trace) {
+    builders.push_back(std::make_unique<core::PlanBuilder>());
+    plans.push_back(&builders.back()->build(batch, *native));
+  }
+
+  std::vector<pram::Word> values;
+  auto run = [&](pram::MemorySystem& memory, bool plan_path) {
+    std::size_t steps = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (const auto* plan : plans) {
+        values.resize(plan->reads.size());
+        if (plan_path) {
+          memory.serve(*plan, values);
+        } else {
+          // The legacy adapter body, spelled out: forward the combined
+          // lists to step(), which redoes its own dedup/grouping.
+          memory.step(plan->reads, values, plan->writes);
+        }
+      }
+      steps += plans.size();
+      elapsed = seconds_since(start);
+    } while (elapsed < budget_sec);
+    return static_cast<double>(steps) / elapsed;
+  };
+
+  // Warm both instances once (first-touch allocations, sparse stores).
+  for (const auto* plan : plans) {
+    values.resize(plan->reads.size());
+    native->serve(*plan, values);
+    legacy->step(plan->reads, values, plan->writes);
+  }
+  out.legacy_steps_per_sec = run(*legacy, /*plan_path=*/false);
+  out.plan_steps_per_sec = run(*native, /*plan_path=*/true);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Reporter reporter(
+      "throughput", "serve-path throughput (plan vs legacy step adapter)",
+      "the arena-backed plan path serves >= 2x steps/sec over the legacy "
+      "per-step-container path on kDmmpc and kHashed at n >= 2^12");
+
+  {
+    util::Table table({"scheme", "n", "m", "steps/s legacy", "steps/s plan",
+                       "speedup"});
+    table.set_title("per-step serve throughput, prebuilt plans "
+                    "(permutation+uniform traffic)");
+    struct Config {
+      core::SchemeKind kind;
+      std::uint32_t n;
+      double budget;
+    };
+    std::vector<Config> configs;
+    for (const auto kind : core::all_scheme_kinds()) {
+      configs.push_back({kind, 256, 0.2});
+    }
+    // The acceptance configurations: the two schemes the refactor must
+    // speed up >= 2x, at production-ish scale.
+    configs.push_back({core::SchemeKind::kDmmpc, 4096, 0.5});
+    configs.push_back({core::SchemeKind::kHashed, 4096, 0.5});
+
+    for (const auto& config : configs) {
+      const core::SchemeSpec spec{.kind = config.kind, .n = config.n,
+                                  .seed = 3};
+      const auto instance = core::make_scheme(spec);
+      const std::size_t steps = config.n >= 4096 ? 8 : 16;
+      const auto trace = make_bench_trace(config.n, instance.m, steps);
+      const auto t = measure(spec, trace, config.budget);
+      table.add_row({core::to_string(config.kind),
+                     static_cast<std::int64_t>(config.n),
+                     static_cast<std::int64_t>(instance.m),
+                     t.legacy_steps_per_sec, t.plan_steps_per_sec,
+                     t.plan_steps_per_sec / t.legacy_steps_per_sec});
+      std::fflush(stdout);
+    }
+    reporter.table(table, 1);
+  }
+
+  {
+    util::Table table({"scheme", "n", "trials", "stress steps", "wall ms",
+                       "steps/s"});
+    table.set_title("pipeline stress throughput (double-buffered, "
+                    "within-trial family shards)");
+    for (const auto kind : {core::SchemeKind::kDmmpc, core::SchemeKind::kIda,
+                            core::SchemeKind::kHashed}) {
+      core::SimulationPipeline pipeline({.kind = kind, .n = 256, .seed = 3});
+      const core::StressOptions options{.steps_per_family = 16, .seed = 7,
+                                        .trials = 2};
+      const auto start = Clock::now();
+      const auto result = pipeline.run_stress(options);
+      const double wall = seconds_since(start);
+      table.add_row({core::to_string(kind), std::int64_t{256},
+                     static_cast<std::int64_t>(options.trials),
+                     static_cast<std::int64_t>(result.steps), wall * 1e3,
+                     static_cast<double>(result.steps) / wall});
+    }
+    reporter.table(table, 1);
+  }
+
+  return 0;
+}

@@ -1,8 +1,9 @@
 #include "core/driver.hpp"
 
+#include <condition_variable>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "faults/faultable_memory.hpp"
@@ -11,63 +12,6 @@
 #include "util/rng.hpp"
 
 namespace pramsim::core {
-
-CombinedStep combine_batch(const pram::AccessBatch& batch) {
-  CombinedStep step;
-  struct WriteSlot {
-    std::size_t index;
-    ProcId writer;
-  };
-  std::unordered_set<std::uint32_t> seen_read;
-  std::unordered_map<std::uint32_t, WriteSlot> writes;
-  step.reads.reserve(batch.size());
-  step.writes.reserve(batch.size());
-  for (const auto& access : batch) {
-    if (access.op == pram::AccessOp::kRead) {
-      if (seen_read.insert(access.var.value()).second) {
-        step.reads.push_back(access.var);
-      }
-      continue;
-    }
-    const auto [it, fresh] = writes.try_emplace(
-        access.var.value(), WriteSlot{step.writes.size(), access.proc});
-    if (fresh) {
-      step.writes.push_back({access.var, access.value});
-    } else if (access.proc.value() < it->second.writer.value()) {
-      // Lowest processor id wins — the deterministic CW convention.
-      step.writes[it->second.index].value = access.value;
-      it->second.writer = access.proc;
-    }
-  }
-  return step;
-}
-
-std::vector<majority::VarRequest> to_requests(const pram::AccessBatch& batch) {
-  std::vector<majority::VarRequest> requests;
-  requests.reserve(batch.size());
-  std::unordered_map<std::uint32_t, std::size_t> index;
-  index.reserve(batch.size());
-  for (const auto& access : batch) {
-    const auto [it, fresh] = index.try_emplace(access.var.value(),
-                                               requests.size());
-    if (fresh) {
-      requests.push_back({access.var, access.proc, access.op});
-      continue;
-    }
-    auto& request = requests[it->second];
-    if (access.op != pram::AccessOp::kWrite) {
-      continue;  // reads never displace an existing request
-    }
-    // A write always takes over the request; among writers the lowest
-    // processor id wins (deterministic CW convention).
-    if (request.op != pram::AccessOp::kWrite ||
-        access.proc.value() < request.requester.value()) {
-      request.requester = access.proc;
-    }
-    request.op = pram::AccessOp::kWrite;
-  }
-  return requests;
-}
 
 void TraceRunResult::merge(const TraceRunResult& other) {
   time.merge(other.time);
@@ -93,30 +37,80 @@ void record_step(TraceRunResult& result, const pram::MemStepCost& cost) {
   ++result.steps;
 }
 
-pram::MemStepCost serve_batch(pram::MemorySystem& memory,
-                              const pram::AccessBatch& batch) {
-  const auto combined = combine_batch(batch);
-  std::vector<pram::Word> values(combined.reads.size());
-  return memory.step(combined.reads, values, combined.writes);
+/// Serve `trace` through the plan path. With `double_buffer` (and a trace
+/// long enough to amortize the thread), a generator thread builds plan
+/// N+1 into the spare builder slot while this thread serves plan N —
+/// batch combining/grouping fully overlaps engine stepping. Results are
+/// identical to the serial loop: plans are served strictly in trace
+/// order, and plan building never touches memory state (plan_group_of is
+/// immutable by contract).
+TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
+                                   std::span<const pram::AccessBatch> trace,
+                                   bool double_buffer) {
+  TraceRunResult result;
+  result.storage_factor = memory.storage_redundancy();
+  std::vector<pram::Word> values;
+  if (!double_buffer || trace.size() < 4) {
+    PlanBuilder builder;
+    for (const auto& batch : trace) {
+      const auto& plan = builder.build(batch, memory);
+      values.resize(plan.reads.size());
+      record_step(result, memory.serve(plan, values));
+    }
+    return result;
+  }
+
+  PlanBuilder slots[2];
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t built = 0;   // plans fully built
+  std::size_t served = 0;  // plans fully served (their slot is free)
+  std::thread generator([&] {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return i < served + 2; });
+      }
+      slots[i % 2].build(trace[i], memory);
+      {
+        const std::lock_guard lock(mutex);
+        built = i + 1;
+      }
+      cv.notify_all();
+    }
+  });
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [&] { return built > i; });
+    }
+    const pram::AccessPlan& plan = slots[i % 2].plan();
+    values.resize(plan.reads.size());
+    record_step(result, memory.serve(plan, values));
+    {
+      const std::lock_guard lock(mutex);
+      served = i + 1;
+    }
+    cv.notify_all();
+  }
+  generator.join();
+  return result;
 }
 
 }  // namespace
 
 TraceRunResult run_trace(pram::MemorySystem& memory,
                          std::span<const pram::AccessBatch> trace) {
-  TraceRunResult result;
-  result.storage_factor = memory.storage_redundancy();
-  for (const auto& batch : trace) {
-    record_step(result, serve_batch(memory, batch));
-  }
-  return result;
+  return run_trace_pipelined(memory, trace, /*double_buffer=*/false);
 }
 
 SimulationPipeline::SimulationPipeline(SchemeSpec spec)
     : spec_(spec), instance_(make_scheme(spec)) {}
 
 pram::MemStepCost SimulationPipeline::run_batch(const pram::AccessBatch& batch) {
-  return serve_batch(*instance_.memory, batch);
+  const pram::AccessPlan& plan = builder_.build(batch, *instance_.memory);
+  std::vector<pram::Word> values(plan.reads.size());
+  return instance_.memory->serve(plan, values);
 }
 
 TraceRunResult SimulationPipeline::run_stress(
@@ -131,19 +125,35 @@ TraceRunResult SimulationPipeline::run_with_faults(
 
 TraceRunResult SimulationPipeline::run_stress_impl(
     const StressOptions& options, const faults::FaultSpec* fault_spec) const {
+  // Per-run setup hoisted out of the shard loop (it used to be re-derived
+  // inside every trial): the family list — including the
+  // exclusive_trace_families() default — is resolved exactly once;
+  // per-shard setup below only shifts seeds.
   const std::vector<pram::TraceFamily>& families =
       options.families.empty() ? pram::exclusive_trace_families()
                                : options.families;
   const std::uint32_t n = spec_.n;
   const std::uint64_t m = instance_.m;
   const std::size_t trials = std::max<std::size_t>(options.trials, 1);
+  // Within-trial sharding: every (trial, family) pair — plus each trial's
+  // adversarial phase — is one shard, so trials = 1 workloads spread over
+  // the host's threads too.
+  const std::size_t stages =
+      families.size() + (options.include_map_adversarial ? 1 : 0);
+  // Overlap plan building with serving only when the shard level is not
+  // already saturating the host's cores — a generator thread per shard
+  // on top of a full parallel_for would just oversubscribe.
+  const bool double_buffer =
+      options.double_buffer && util::parallel_workers(trials * stages) == 1;
 
-  std::vector<TraceRunResult> shards(trials);
-  util::parallel_for(0, trials, [&](std::size_t trial) {
+  std::vector<TraceRunResult> shards(trials * stages);
+  util::parallel_for(0, trials * stages, [&](std::size_t s) {
+    const std::size_t trial = s / stages;
+    const std::size_t stage = s % stages;
     // Fresh memory per shard (same scheme seed: the map under test is
-    // fixed; the traffic seed shifts per trial). Under fault injection
-    // the per-trial fault seed shifts too: each trial is an independent
-    // machine with its own static fault set at the same intensity.
+    // fixed; the traffic stream derives from (seed, trial, family)).
+    // Under fault injection every shard of a trial shares the trial's
+    // fault seed: one machine's static fault set, observed per family.
     auto instance = make_scheme(spec_);
     std::unique_ptr<pram::MemorySystem> memory = std::move(instance.memory);
     if (fault_spec != nullptr) {
@@ -153,40 +163,55 @@ TraceRunResult SimulationPipeline::run_stress_impl(
                                                          trial_faults);
     }
     util::Rng rng(options.seed + trial * 0x9E3779B97F4A7C15ULL);
-    TraceRunResult& total = shards[trial];
-    total.storage_factor = memory->storage_redundancy();
-    for (const auto family : families) {
+    TraceRunResult& shard = shards[s];
+    if (stage < families.size()) {
+      // Reach this family's stream: family f uses the (f+1)-th split of
+      // the trial generator, exactly as the sequential loop drew them.
+      for (std::size_t f = 0; f < stage; ++f) {
+        (void)rng.split();
+      }
       auto family_rng = rng.split();
-      const auto trace =
-          pram::make_trace(family, n, m, options.steps_per_family, family_rng);
-      total.merge(run_trace(*memory, trace));
-    }
-    if (options.include_map_adversarial) {
+      const auto trace = pram::make_trace(families[stage], n, m,
+                                          options.steps_per_family,
+                                          family_rng);
+      shard = run_trace_pipelined(*memory, trace, double_buffer);
+    } else {
+      for (std::size_t f = 0; f < families.size(); ++f) {
+        (void)rng.split();
+      }
+      // Map-crafted congestion batches when the scheme exposes its map;
+      // otherwise the scheme's own adversary (e.g. the hashed baseline's
+      // known-hash preimage attack). Schemes with neither are skipped.
+      // Generation stays interleaved with serving — never pre-built or
+      // double-buffered — so a state-dependent adversary (virtual
+      // adversarial_vars) keeps tracking any placement change serving
+      // causes (e.g. a rehashing backend redrawing its hash).
       const memmap::MemoryMap* map = memory->memory_map();
-      for (std::size_t s = 0; s < options.steps_per_family; ++s) {
-        // Map-crafted congestion batches when the scheme exposes its
-        // map; otherwise the scheme's own adversary (e.g. the hashed
-        // baseline's known-hash preimage attack). Schemes with neither
-        // are skipped.
+      shard.storage_factor = memory->storage_redundancy();
+      PlanBuilder builder;
+      std::vector<pram::Word> values;
+      for (std::size_t step = 0; step < options.steps_per_family; ++step) {
         const auto vars =
-            map != nullptr
-                ? memmap::adversarial_batch(*map, n, rng.next())
-                : memory->adversarial_vars(n, rng.next());
+            map != nullptr ? memmap::adversarial_batch(*map, n, rng.next())
+                           : memory->adversarial_vars(n, rng.next());
         if (vars.empty()) {
           break;
         }
         pram::AccessBatch batch;
         batch.reserve(vars.size());
         for (std::uint32_t i = 0; i < vars.size(); ++i) {
-          batch.push_back(
-              {ProcId(i % n), pram::AccessOp::kRead, vars[i], 0});
+          batch.push_back({ProcId(i % n), pram::AccessOp::kRead, vars[i], 0});
         }
-        record_step(total, serve_batch(*memory, batch));
+        const pram::AccessPlan& plan = builder.build(batch, *memory);
+        values.resize(plan.reads.size());
+        record_step(shard, memory->serve(plan, values));
       }
     }
-    total.reliability = memory->reliability();
+    shard.reliability = memory->reliability();
   });
 
+  // Deterministic merge in (trial, family, step) order — shard order is
+  // fixed by construction, so the fold is identical at any thread count.
   TraceRunResult merged;
   merged.storage_factor = instance_.memory->storage_redundancy();
   for (const auto& shard : shards) {

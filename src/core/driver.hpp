@@ -1,16 +1,22 @@
 // Scheme-agnostic simulation pipeline: feeds synthetic access batches
 // (pram/trace.hpp) and map-adversarial batches through any memory
-// organization behind the unified pram::MemorySystem interface, doing the
-// batch dedup/combining exactly once, sharding independent trials with
-// util::parallel_for, and aggregating a unified TraceRunResult. This is
-// the measurement loop behind every cross-scheme bench; no caller builds
-// a per-scheme loop by hand.
+// organization behind the unified pram::MemorySystem interface. Each
+// batch is combined ONCE into an arena-backed pram::AccessPlan
+// (core::PlanBuilder) and served through MemorySystem::serve; stress
+// traffic is double-buffered (a generator thread builds plan N+1 while
+// the worker serves plan N) and sharded WITHIN trials — every
+// (trial, family) pair is an independent shard — with util::parallel_for,
+// then merged in deterministic (trial, family, step) order so results are
+// bit-identical at any worker-thread count. This is the measurement loop
+// behind every cross-scheme bench; no caller builds a per-scheme loop by
+// hand.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/plan_builder.hpp"
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
 #include "majority/engine.hpp"
@@ -19,28 +25,6 @@
 #include "util/stats.hpp"
 
 namespace pramsim::core {
-
-/// One P-RAM step after concurrent-access combining: distinct read
-/// variables, and distinct writes with their winning values. A variable
-/// both read and written appears in both lists (the read sees the
-/// pre-step value; the write commits after).
-struct CombinedStep {
-  std::vector<VarId> reads;
-  std::vector<pram::VarWrite> writes;
-};
-
-/// Combine a raw access batch: concurrent reads collapse to one read,
-/// concurrent writes resolve to the lowest-processor-id writer (the
-/// deterministic CW convention used machine-wide).
-[[nodiscard]] CombinedStep combine_batch(const pram::AccessBatch& batch);
-
-/// Deduplicate a raw access batch into distinct-variable requests for
-/// engine-level drivers. A variable both read and written produces a
-/// single request that PRESERVES THE WRITE: op = kWrite and the
-/// requester is the winning (lowest-id) writer, never whichever access
-/// happened to come first.
-[[nodiscard]] std::vector<majority::VarRequest> to_requests(
-    const pram::AccessBatch& batch);
 
 /// Aggregate over every step served: simulated time, work, live-set and
 /// contention telemetry, and the scheme's storage redundancy so cost can
@@ -68,14 +52,21 @@ struct TraceRunResult {
   void merge(const TraceRunResult& other);
 };
 
-/// Run every batch of `trace` through `memory` (combining once per batch).
+/// Run every batch of `trace` through `memory`: one PlanBuilder combines
+/// each batch once and memory.serve() consumes the plan. Single-threaded
+/// (the double-buffered variant lives inside run_stress).
 [[nodiscard]] TraceRunResult run_trace(
     pram::MemorySystem& memory, std::span<const pram::AccessBatch> trace);
 
 /// Stress-run parameters: trace families x steps, optional
-/// map-adversarial batches, and independent trials sharded across host
-/// threads. Results are deterministic given (spec, options) regardless of
-/// worker scheduling.
+/// map-adversarial batches, and independent trials. Work is sharded
+/// WITHIN trials: every (trial, family) pair — and the adversarial phase
+/// of each trial — runs as its own shard on a fresh memory built from the
+/// same spec (same scheme seed: the map under test is fixed; traffic
+/// seeds derive from (seed, trial, family)). Shards spread across host
+/// threads via util::parallel_for and merge in (trial, family, step)
+/// order, so results are deterministic given (spec, options) at ANY
+/// worker-thread count.
 struct StressOptions {
   std::size_t steps_per_family = 3;
   std::uint64_t seed = 1;
@@ -87,9 +78,15 @@ struct StressOptions {
   /// baseline's known-hash preimage attack). Skipped only for schemes
   /// with neither (e.g. kIda).
   bool include_map_adversarial = true;
-  /// Independent trials (fresh memory, shifted traffic seed), sharded
-  /// with util::parallel_for and merged in trial order.
+  /// Independent trials (fresh memory, shifted traffic seed).
   std::size_t trials = 1;
+  /// Overlap plan building with serving inside each shard (a generator
+  /// thread builds plan N+1 while the shard serves plan N). Results are
+  /// identical either way. Engaged only when the shard level is not
+  /// already saturating the host's cores (and never for the adversarial
+  /// phase, whose state-dependent batch generation must stay interleaved
+  /// with serving); off disables the overlap entirely.
+  bool double_buffer = true;
 };
 
 /// Fault-sweep parameters: ramp the prototype's rate axes through
@@ -157,6 +154,8 @@ class SimulationPipeline {
 
   SchemeSpec spec_;
   SchemeInstance instance_;
+  /// Plan slot for one-shot run_batch serving on the prototype.
+  PlanBuilder builder_;
 };
 
 }  // namespace pramsim::core

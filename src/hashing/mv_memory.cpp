@@ -77,6 +77,55 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
                            .max_queue = max_load};
 }
 
+pram::MemStepCost MvMemory::serve(const pram::AccessPlan& plan,
+                                  std::span<pram::Word> read_values) {
+  PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
+  ++steps_;
+  // The plan's requests are the distinct variables of the step: count
+  // them straight into the dense per-module load array (same numbers the
+  // legacy unordered_map produced, same max taken over touched modules).
+  load_scratch_.resize(config_.n_modules, 0);
+  touched_scratch_.clear();
+  std::uint32_t max_load = 0;
+  for (const auto& request : plan.requests) {
+    PRAMSIM_ASSERT(request.var.index() < cells_.size());
+    const std::uint32_t module = module_of(request.var);
+    if (load_scratch_[module]++ == 0) {
+      touched_scratch_.push_back(module);
+    }
+    max_load = std::max(max_load, load_scratch_[module]);
+  }
+  for (const auto module : touched_scratch_) {
+    load_scratch_[module] = 0;
+  }
+  load_stats_.add(static_cast<double>(max_load));
+
+  flagged_reads_.clear();
+  if (hooks_ != nullptr) {
+    flagged_reads_.assign(plan.reads.size(), false);
+  }
+  for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+    bool flagged = false;
+    read_values[i] = faulted_read(plan.reads[i], &flagged);
+    if (hooks_ != nullptr) {
+      flagged_reads_[i] = flagged;
+    }
+  }
+  for (const auto& w : plan.writes) {
+    faulted_write(w.var, w.value);
+  }
+
+  if (config_.rehash_threshold != 0 && max_load > config_.rehash_threshold) {
+    hash_ = PolynomialHash(config_.k_wise, config_.n_modules, rng_);
+    ++rehashes_;
+  }
+
+  return pram::MemStepCost{.time = max_load,
+                           .work = plan.requests.size(),
+                           .live_after_stage1 = 0,
+                           .max_queue = max_load};
+}
+
 pram::Word MvMemory::faulted_read(VarId var, bool* flagged) {
   if (hooks_ == nullptr) {
     return cells_[var.index()];

@@ -36,6 +36,16 @@ class MvMemory final : public pram::MemorySystem {
                          std::span<pram::Word> read_values,
                          std::span<const pram::VarWrite> writes) override;
 
+  /// Native plan path: the plan's request list is already the distinct
+  /// variable union, so the per-step dedup set disappears and module
+  /// loads accumulate into a dense per-instance scratch array instead of
+  /// a fresh unordered_map. Bit-identical to step() in both values and
+  /// cost. (No plan_group_of override: the placement hash can be redrawn
+  /// mid-run by the rehash policy, so it must not leak into plans built
+  /// ahead of time.)
+  pram::MemStepCost serve(const pram::AccessPlan& plan,
+                          std::span<pram::Word> read_values) override;
+
   [[nodiscard]] std::uint64_t size() const override { return cells_.size(); }
   [[nodiscard]] pram::Word peek(VarId var) const override;
   void poke(VarId var, pram::Word value) override;
@@ -82,6 +92,10 @@ class MvMemory final : public pram::MemorySystem {
   util::Rng rng_;
   PolynomialHash hash_;
   std::vector<pram::Word> cells_;
+  /// serve() scratch: per-module distinct-request counts plus the list of
+  /// touched modules (for O(touched) reset), reused across steps.
+  std::vector<std::uint32_t> load_scratch_;
+  std::vector<std::uint32_t> touched_scratch_;
   std::uint64_t rehashes_ = 0;
   std::uint64_t steps_ = 0;  ///< step counter (corruption stamp)
   util::RunningStats load_stats_;  ///< per-step max module load

@@ -228,6 +228,184 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   return cost;
 }
 
+pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
+                                   std::span<pram::Word> read_values) {
+  if (!plan.grouped()) {
+    // Defensive: a plan built for another target has no block groups.
+    return pram::MemorySystem::serve(plan, read_values);
+  }
+  PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
+  pram::MemStepCost cost;
+  const std::uint64_t share_accesses_before = share_accesses_;
+  failed_blocks_.clear();
+  degraded_blocks_.clear();
+  flagged_reads_.clear();
+
+  // The plan's groups are this scheme's blocks, ascending; one decode
+  // (and at most one re-encode) per group replaces the old per-step
+  // read_blocks set / writes_by_block map entirely.
+  const std::size_t n_groups = plan.num_groups();
+  group_has_read_.assign(n_groups, 0);
+  group_status_.assign(n_groups, 0);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    for (std::uint32_t i = plan.group_offsets[g];
+         i < plan.group_offsets[g + 1]; ++i) {
+      if (plan.requests[plan.group_requests[i]].is_read) {
+        group_has_read_[g] = 1;
+        break;
+      }
+    }
+  }
+
+  // Module round accounting: modules serve one share per round, so a
+  // phase's duration is its maximum per-module share count. The load
+  // array is per-instance and reset via the touched list; the phase max
+  // is tracked incrementally.
+  module_load_.resize(config_.n_modules, 0);
+  copy_scratch_.resize(config_.d);
+  order_.resize(config_.d);
+  std::uint32_t phase_max = 0;
+  auto reset_loads = [&] {
+    for (const auto module : touched_modules_) {
+      module_load_[module] = 0;
+    }
+    touched_modules_.clear();
+    phase_max = 0;
+  };
+  auto bump = [&](std::uint32_t module) {
+    if (module_load_[module]++ == 0) {
+      touched_modules_.push_back(module);
+    }
+    phase_max = std::max(phase_max, module_load_[module]);
+  };
+  auto charge_read_block = [&](std::uint64_t blk) {
+    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)),
+                           copy_scratch_);
+    // Pick the b least-loaded modules among the d holding shares — the
+    // d-b slack is what lets the scheme dodge congestion. Sorting by
+    // (load, share index) reproduces the stable least-loaded order.
+    for (std::uint32_t j = 0; j < config_.d; ++j) {
+      order_[j] = j;
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t a, std::uint32_t b2) {
+                const std::uint32_t la =
+                    module_load_[copy_scratch_[a].index()];
+                const std::uint32_t lb =
+                    module_load_[copy_scratch_[b2].index()];
+                return la != lb ? la < lb : a < b2;
+              });
+    for (std::uint32_t j = 0; j < config_.b; ++j) {
+      bump(static_cast<std::uint32_t>(copy_scratch_[order_[j]].index()));
+    }
+    share_accesses_ += config_.b;
+    vars_processed_ += config_.b;
+  };
+  auto charge_write_block = [&](std::uint64_t blk) {
+    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)),
+                           copy_scratch_);
+    for (std::uint32_t j = 0; j < config_.d; ++j) {
+      bump(static_cast<std::uint32_t>(copy_scratch_[j].index()));
+    }
+    share_accesses_ += config_.d;
+    vars_processed_ += config_.b;
+  };
+
+  decoded_store_.resize(n_groups * config_.b);
+  auto decode_group = [&](std::size_t g) {
+    const std::uint64_t blk = plan.group_keys[g];
+    const auto vals = decode_block(blk);
+    std::copy(vals.begin(), vals.end(),
+              decoded_store_.begin() + static_cast<std::ptrdiff_t>(
+                                           g * config_.b));
+    if (hooks_ != nullptr) {
+      if (failed_blocks_.count(blk) != 0) {
+        group_status_[g] = 2;
+      } else if (degraded_blocks_.count(blk) != 0) {
+        group_status_[g] = 1;
+      }
+    }
+  };
+
+  // ---- phase 1: reads (pre-step state) -----------------------------
+  reset_loads();
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (group_has_read_[g]) {
+      charge_read_block(plan.group_keys[g]);
+    }
+  }
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (group_has_read_[g]) {
+      decode_group(g);
+    }
+  }
+  if (hooks_ != nullptr) {
+    flagged_reads_.assign(plan.reads.size(), false);
+  }
+  for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+    const std::uint32_t g = plan.request_group[plan.read_request[i]];
+    read_values[i] =
+        decoded_store_[g * config_.b + plan.reads[i].index() % config_.b];
+    ++vars_accessed_;
+    if (hooks_ != nullptr) {
+      ++reliability_.reads_served;
+      // Every read of an under-threshold block is a FLAGGED loss;
+      // reads of a degraded-but-reconstructed block are masked faults.
+      if (group_status_[g] == 2) {
+        flagged_reads_[i] = true;
+        ++reliability_.uncorrectable;
+      } else if (group_status_[g] == 1) {
+        ++reliability_.faults_masked;
+      }
+    }
+  }
+  const std::uint32_t read_rounds = phase_max;
+
+  // ---- phase 2: writes (read-modify-write per block) ---------------
+  reset_loads();
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    bool has_write = false;
+    for (std::uint32_t j = plan.group_offsets[g];
+         j < plan.group_offsets[g + 1]; ++j) {
+      if (plan.request_write[plan.group_requests[j]] !=
+          pram::AccessPlan::kNone) {
+        has_write = true;
+        break;
+      }
+    }
+    if (!has_write) {
+      continue;
+    }
+    // The block must be fetched (b shares) unless this step already read
+    // it, then re-encoded and fully rewritten (d shares).
+    const std::uint64_t blk = plan.group_keys[g];
+    if (!group_has_read_[g]) {
+      charge_read_block(blk);
+      decode_group(g);
+    }
+    charge_write_block(blk);
+    const std::span<pram::Word> block_vals{
+        decoded_store_.data() + g * config_.b, config_.b};
+    for (std::uint32_t j = plan.group_offsets[g];
+         j < plan.group_offsets[g + 1]; ++j) {
+      const std::uint32_t w = plan.request_write[plan.group_requests[j]];
+      if (w == pram::AccessPlan::kNone) {
+        continue;
+      }
+      block_vals[plan.writes[w].var.index() % config_.b] =
+          plan.writes[w].value;
+      ++vars_accessed_;
+    }
+    encode_block(blk, block_vals);
+  }
+  const std::uint32_t write_rounds = phase_max;
+
+  cost.time = read_rounds + write_rounds;
+  cost.work = share_accesses_ - share_accesses_before;
+  cost.max_queue = std::max(read_rounds, write_rounds);
+  return cost;
+}
+
 pram::Word IdaMemory::peek(VarId var) const {
   PRAMSIM_ASSERT(var.index() < m_vars_);
   std::uint32_t erased = 0;

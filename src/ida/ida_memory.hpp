@@ -54,6 +54,21 @@ class IdaMemory final : public pram::MemorySystem {
                          std::span<pram::Word> read_values,
                          std::span<const pram::VarWrite> writes) override;
 
+  /// Native plan path: the plan's groups ARE this scheme's blocks
+  /// (plan_group_of = block index), so the per-step block sets/maps
+  /// disappear — phase 1 walks read groups, phase 2 write groups, both
+  /// in ascending block order, decoding into a per-instance flat buffer.
+  /// Value-equivalent to step(); cost is identical up to the (now
+  /// deterministic, ascending-block) least-loaded module selection order.
+  pram::MemStepCost serve(const pram::AccessPlan& plan,
+                          std::span<pram::Word> read_values) override;
+
+  /// Plans group by block: requests in one group share one decode.
+  [[nodiscard]] std::uint64_t plan_group_of(VarId var) const override {
+    return block_of(var);
+  }
+  [[nodiscard]] bool wants_plan_groups() const override { return true; }
+
   [[nodiscard]] std::uint64_t size() const override { return m_vars_; }
   [[nodiscard]] pram::Word peek(VarId var) const override;
   void poke(VarId var, pram::Word value) override;
@@ -133,6 +148,15 @@ class IdaMemory final : public pram::MemorySystem {
   /// Blocks reconstructed around >= 1 bad share (reset per step).
   std::unordered_set<std::uint64_t> degraded_blocks_;
   std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
+
+  // ----- serve() scratch (reused across steps; meaningless between) -----
+  std::vector<std::uint32_t> module_load_;     ///< dense, reset via touched
+  std::vector<std::uint32_t> touched_modules_;
+  std::vector<std::uint32_t> order_;           ///< least-loaded share pick
+  std::vector<ModuleId> copy_scratch_;
+  std::vector<pram::Word> decoded_store_;      ///< group g at [g*b,(g+1)*b)
+  std::vector<std::uint8_t> group_has_read_;
+  std::vector<std::uint8_t> group_status_;     ///< 0 ok, 1 degraded, 2 failed
 };
 
 }  // namespace pramsim::ida

@@ -14,6 +14,8 @@ DmmpcEngine::DmmpcEngine(std::shared_ptr<const memmap::MemoryMap> map,
 }
 
 EngineResult DmmpcEngine::run_step(std::span<const VarRequest> requests) {
+  // Legacy allocating path (kept as the plan-vs-adapter baseline);
+  // the serve path goes through run_step_into's per-instance scratch.
   const ScheduleResult schedule = schedule_step(*map_, requests, config_);
   EngineResult result;
   result.time = schedule.rounds;
@@ -26,6 +28,21 @@ EngineResult DmmpcEngine::run_step(std::span<const VarRequest> requests) {
   result.stats.max_queue = schedule.max_module_queue;
   result.stats.live_per_phase = schedule.live_per_round;
   return result;
+}
+
+void DmmpcEngine::run_step_into(std::span<const VarRequest> requests,
+                                EngineResult& out) {
+  schedule_step_into(*map_, requests, config_, schedule_scratch_, scratch_);
+  const ScheduleResult& schedule = schedule_scratch_;
+  out.time = schedule.rounds;
+  out.work = schedule.total_copy_accesses;
+  out.accessed_mask = schedule.accessed_mask;
+  out.stats.phases = schedule.rounds;
+  out.stats.stage1_phases = schedule.stage1_rounds;
+  out.stats.stage2_phases = schedule.stage2_rounds;
+  out.stats.live_after_stage1 = schedule.live_after_stage1;
+  out.stats.max_queue = schedule.max_module_queue;
+  out.stats.live_per_phase = schedule.live_per_round;
 }
 
 }  // namespace pramsim::majority

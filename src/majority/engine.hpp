@@ -53,6 +53,14 @@ class AccessEngine {
   [[nodiscard]] virtual EngineResult run_step(
       std::span<const VarRequest> requests) = 0;
 
+  /// In-place variant for the hot serve path: reuses `out`'s buffers
+  /// across steps (same results as run_step). Engines with per-instance
+  /// scratch override this; the default copies through run_step().
+  virtual void run_step_into(std::span<const VarRequest> requests,
+                             EngineResult& out) {
+    out = run_step(requests);
+  }
+
   [[nodiscard]] virtual const memmap::MemoryMap& map() const = 0;
 
   /// Simulating processors driving the protocol (cluster assignment of
@@ -70,6 +78,10 @@ class DmmpcEngine final : public AccessEngine {
   [[nodiscard]] EngineResult run_step(
       std::span<const VarRequest> requests) override;
 
+  /// Allocation-free after warm-up: schedules into per-instance scratch.
+  void run_step_into(std::span<const VarRequest> requests,
+                     EngineResult& out) override;
+
   [[nodiscard]] const memmap::MemoryMap& map() const override {
     return *map_;
   }
@@ -81,6 +93,8 @@ class DmmpcEngine final : public AccessEngine {
  private:
   std::shared_ptr<const memmap::MemoryMap> map_;
   SchedulerConfig config_;
+  ScheduleResult schedule_scratch_;
+  ScheduleScratch scratch_;
 };
 
 }  // namespace pramsim::majority

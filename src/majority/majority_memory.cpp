@@ -23,6 +23,41 @@ MajorityMemory::MajorityMemory(std::shared_ptr<const memmap::MemoryMap> map,
     : MajorityMemory(
           std::make_unique<DmmpcEngine>(std::move(map), scheduler)) {}
 
+std::uint64_t MajorityMemory::degraded_serve(
+    std::span<const VarId> reads, std::span<pram::Word> read_values,
+    std::span<const pram::VarWrite> writes) {
+  // Degraded-mode protocol: majority-vote reads over every surviving
+  // copy, write-through to every surviving copy. The engine's schedule
+  // still prices the step; the widened copy traffic is extra work.
+  const std::uint32_t r = engine_->map().redundancy();
+  std::uint64_t fault_work = 0;
+  std::vector<ModuleId> modules(r);
+  flagged_reads_.assign(reads.size(), false);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    engine_->map().copies_into(reads[i], modules);
+    const auto outcome = store_.vote(reads[i], modules, *hooks_);
+    read_values[i] = outcome.winner.value;
+    ++reliability_.reads_served;
+    reliability_.erasures_skipped += outcome.erased;
+    reliability_.units_faulty += outcome.erased + outcome.dissenting;
+    fault_work += outcome.survivors;
+    if (outcome.survivors == 0) {
+      ++reliability_.uncorrectable;
+      flagged_reads_[i] = true;
+    } else if (outcome.erased + outcome.dissenting > 0) {
+      ++reliability_.faults_masked;
+    }
+  }
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    engine_->map().copies_into(writes[i].var, modules);
+    reliability_.writes_dropped +=
+        store_.store_all(writes[i].var, modules, writes[i].value, stamp_,
+                         *hooks_, reliability_.corrupt_stores);
+    fault_work += r;
+  }
+  return fault_work;
+}
+
 pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
                                        std::span<pram::Word> read_values,
                                        std::span<const pram::VarWrite> writes) {
@@ -32,7 +67,8 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
   // Union of accessed variables: one protocol request per distinct var.
   // A variable that is both read and written this step is accessed once;
   // the accessed copy set serves the read (pre-step value) and then takes
-  // the write.
+  // the write. (This is the LEGACY per-step dedup; the plan path in
+  // serve() consumes the same union precomputed by core::PlanBuilder.)
   std::vector<VarRequest> requests;
   requests.reserve(reads.size() + writes.size());
   std::vector<std::size_t> read_req(reads.size());
@@ -79,33 +115,59 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
       }
     }
   } else {
-    // Degraded-mode protocol: majority-vote reads over every surviving
-    // copy, write-through to every surviving copy. The engine's schedule
-    // still prices the step; the widened copy traffic is extra work.
-    std::vector<ModuleId> modules(r);
-    flagged_reads_.assign(reads.size(), false);
-    for (std::size_t i = 0; i < reads.size(); ++i) {
-      engine_->map().copies_into(reads[i], modules);
-      const auto outcome = store_.vote(reads[i], modules, *hooks_);
-      read_values[i] = outcome.winner.value;
-      ++reliability_.reads_served;
-      reliability_.erasures_skipped += outcome.erased;
-      reliability_.units_faulty += outcome.erased + outcome.dissenting;
-      fault_work += outcome.survivors;
-      if (outcome.survivors == 0) {
-        ++reliability_.uncorrectable;
-        flagged_reads_[i] = true;
-      } else if (outcome.erased + outcome.dissenting > 0) {
-        ++reliability_.faults_masked;
+    fault_work = degraded_serve(reads, read_values, writes);
+  }
+
+  return pram::MemStepCost{.time = result.time,
+                           .work = result.work + fault_work,
+                           .live_after_stage1 = result.stats.live_after_stage1,
+                           .max_queue = result.stats.max_queue};
+}
+
+pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
+                                        std::span<pram::Word> read_values) {
+  PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
+  ++stamp_;
+
+  // The plan's request list IS the access union in step()'s order (reads
+  // first, then write-only variables); requesters are synthesized
+  // round-robin exactly as the legacy dedup did.
+  request_scratch_.clear();
+  request_scratch_.reserve(plan.requests.size());
+  for (std::uint32_t j = 0; j < plan.requests.size(); ++j) {
+    request_scratch_.push_back(
+        {plan.requests[j].var, ProcId(j % n_processors_),
+         plan.requests[j].op});
+  }
+
+  engine_->run_step_into(request_scratch_, engine_scratch_);
+  const EngineResult& result = engine_scratch_;
+  time_stats_.add(static_cast<double>(result.time));
+  last_stats_ = result.stats;
+
+  const std::uint32_t r = engine_->map().redundancy();
+  std::uint64_t fault_work = 0;
+  flagged_reads_.clear();
+  if (hooks_ == nullptr) {
+    for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+      read_values[i] =
+          store_
+              .freshest(plan.reads[i],
+                        result.accessed_mask[plan.read_request[i]])
+              .value;
+    }
+    for (std::size_t i = 0; i < plan.writes.size(); ++i) {
+      const std::uint64_t mask =
+          result.accessed_mask[plan.write_request[i]];
+      for (std::uint32_t copy = 0; copy < r; ++copy) {
+        if ((mask >> copy) & 1ULL) {
+          store_.write(plan.writes[i].var, copy, plan.writes[i].value,
+                       stamp_);
+        }
       }
     }
-    for (std::size_t i = 0; i < writes.size(); ++i) {
-      engine_->map().copies_into(writes[i].var, modules);
-      reliability_.writes_dropped +=
-          store_.store_all(writes[i].var, modules, writes[i].value, stamp_,
-                           *hooks_, reliability_.corrupt_stores);
-      fault_work += r;
-    }
+  } else {
+    fault_work = degraded_serve(plan.reads, read_values, plan.writes);
   }
 
   return pram::MemStepCost{.time = result.time,

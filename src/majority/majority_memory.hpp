@@ -36,6 +36,14 @@ class MajorityMemory final : public pram::MemorySystem {
                          std::span<pram::Word> read_values,
                          std::span<const pram::VarWrite> writes) override;
 
+  /// Native plan path: consumes the plan's precomputed request list and
+  /// read/write joins instead of rebuilding the per-step dedup map, and
+  /// schedules through the engine's scratch-backed run_step_into.
+  /// Value-equivalent to step(); request order (reads first, then
+  /// write-only variables) matches step()'s synthesized order exactly.
+  pram::MemStepCost serve(const pram::AccessPlan& plan,
+                          std::span<pram::Word> read_values) override;
+
   [[nodiscard]] std::uint64_t size() const override {
     return engine_->map().num_vars();
   }
@@ -85,12 +93,23 @@ class MajorityMemory final : public pram::MemorySystem {
   }
 
  private:
+  /// Degraded-mode protocol shared by step() and serve(): majority-vote
+  /// reads over every surviving copy, write-through to every survivor.
+  /// Returns the extra copy traffic (fault work).
+  std::uint64_t degraded_serve(std::span<const VarId> reads,
+                               std::span<pram::Word> read_values,
+                               std::span<const pram::VarWrite> writes);
+
   std::unique_ptr<AccessEngine> engine_;
   CopyStore store_;
   std::uint64_t stamp_ = 0;  ///< current P-RAM step number (timestamps)
   std::uint32_t n_processors_;
   util::RunningStats time_stats_;
   ProtocolStats last_stats_;
+  /// serve() scratch: the plan's requests with synthesized requesters,
+  /// and the engine result buffers, both reused across steps.
+  std::vector<VarRequest> request_scratch_;
+  EngineResult engine_scratch_;
   const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
   pram::ReliabilityStats reliability_;
   std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags

@@ -32,6 +32,7 @@
 
 #include "memmap/memory_map.hpp"
 #include "pram/types.hpp"
+#include "util/scratch_map.hpp"
 #include "util/stats.hpp"
 #include "util/strong_id.hpp"
 
@@ -77,11 +78,53 @@ struct ScheduleResult {
   std::vector<std::uint64_t> live_per_round;
 };
 
+/// Reusable per-instance scratch for schedule_step_into: request state
+/// SoA, the flattened copy table, and the epoch-cleared per-round module
+/// claim map. Owning one of these per engine makes a warmed-up scheduler
+/// allocation-free per step (the old path rebuilt an unordered_map of
+/// module claims EVERY ROUND).
+struct ScheduleScratch {
+  struct Claim {
+    std::uint32_t request = 0;
+    std::uint32_t copy = 0;
+    std::uint32_t queue = 0;  ///< probes contending at this module
+  };
+  // Per-request protocol state (SoA mirrors of the old RequestState).
+  std::vector<std::uint32_t> cluster;
+  std::vector<std::uint32_t> member;
+  std::vector<std::uint32_t> accessed;
+  std::vector<std::uint64_t> mask;
+  std::vector<std::uint8_t> dead;
+  /// All requests' copies, flattened: request i's copies live at
+  /// [i*r, (i+1)*r).
+  std::vector<ModuleId> copies;
+  util::ScratchMap<Claim> claims;          ///< module -> winning probe
+  util::ScratchMap<std::uint32_t> slots;   ///< (cluster,member) -> request
+  std::vector<std::uint32_t> active;
+  std::vector<std::uint32_t> pending;
+  std::vector<std::uint32_t> assigned;
+};
+
 /// Schedule one P-RAM step's worth of distinct-variable requests.
 /// Precondition: requests hold distinct variables (combining already done)
 /// and map.redundancy() <= 64.
+///
+/// This is the LEGACY entry: it rebuilds throwaway containers every call
+/// (per-request copy vectors, a fresh module-claim map per round) — the
+/// baseline the bench_throughput plan-vs-adapter contrast measures.
 [[nodiscard]] ScheduleResult schedule_step(const memmap::MemoryMap& map,
                                            std::span<const VarRequest> requests,
                                            const SchedulerConfig& config);
+
+/// Arena variant for the hot serve path: reuses `result`'s vectors and
+/// `scratch` across steps; a warmed-up caller schedules without touching
+/// the heap. Same protocol as schedule_step; cost telemetry can differ
+/// only in deterministic tie-break detail (the claim map here resolves
+/// module winners in insertion order, identically on every platform),
+/// and every request still ends with >= c accessed copies.
+void schedule_step_into(const memmap::MemoryMap& map,
+                        std::span<const VarRequest> requests,
+                        const SchedulerConfig& config,
+                        ScheduleResult& result, ScheduleScratch& scratch);
 
 }  // namespace pramsim::majority

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "pram/access_plan.hpp"
 #include "pram/faults.hpp"
 #include "pram/types.hpp"
 
@@ -53,6 +54,44 @@ class MemorySystem {
   virtual MemStepCost step(std::span<const VarId> reads,
                            std::span<Word> read_values,
                            std::span<const VarWrite> writes) = 0;
+
+  // ----- the plan-based serve entry (two-entry contract) ---------------
+  //
+  // serve() is the hot batched entry: the driver combines/groups each
+  // step ONCE into an arena-backed AccessPlan (core::PlanBuilder) and
+  // every backend may consume the precomputed joins instead of rebuilding
+  // them. The contract future backends must honor:
+  //
+  //  * The DEFAULT serve() adapts to step() by forwarding plan.reads /
+  //    plan.writes verbatim, so implementing step() alone keeps a scheme
+  //    fully functional (all ten SchemeKinds worked unmodified when this
+  //    entry landed). Wrappers (e.g. faults::FaultableMemory) that must
+  //    observe every access intercept step() and inherit the default
+  //    serve(), which funnels plans through their step() override.
+  //  * A native serve() override must be value-equivalent to step() for
+  //    the same combined step: same read_values, same committed state.
+  //    Cost/telemetry may differ only by deterministic scheduling detail.
+  //  * serve() may keep per-instance scratch; it is called from one
+  //    thread at a time like step().
+
+  /// Serve one pre-combined step. read_values[i] receives plan.reads[i].
+  virtual MemStepCost serve(const AccessPlan& plan,
+                            std::span<Word> read_values) {
+    return step(plan.reads, read_values, plan.writes);
+  }
+
+  /// Stable per-variable grouping key for plan building (target module /
+  /// block / shard). Must be immutable for the memory's lifetime and safe
+  /// to call concurrently with serve()/step() — the plan generator thread
+  /// runs ahead of the serving thread. Schemes whose placement can change
+  /// mid-run (e.g. rehashing baselines) must NOT expose it.
+  [[nodiscard]] virtual std::uint64_t plan_group_of(VarId var) const {
+    return var.index();
+  }
+
+  /// True when plan_group_of defines a grouping worth materializing; the
+  /// builder skips the group arrays (and their sort) otherwise.
+  [[nodiscard]] virtual bool wants_plan_groups() const { return false; }
 
   /// Number of addressable shared variables (m).
   [[nodiscard]] virtual std::uint64_t size() const = 0;

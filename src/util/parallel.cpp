@@ -1,12 +1,25 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 namespace pramsim::util {
 
+namespace {
+std::atomic<std::size_t> g_workers_override{0};
+}  // namespace
+
+void set_parallel_workers_override(std::size_t workers) {
+  g_workers_override.store(workers, std::memory_order_relaxed);
+}
+
 std::size_t parallel_workers(std::size_t n) {
+  const std::size_t forced = g_workers_override.load(std::memory_order_relaxed);
+  if (forced != 0) {
+    return std::clamp<std::size_t>(forced, 1, std::max<std::size_t>(n, 1));
+  }
   const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   // Below ~4 items per worker the thread spawn cost dominates.
   return std::clamp<std::size_t>(n / 4, 1, hw);

@@ -17,6 +17,13 @@ namespace pramsim::util {
 /// Number of workers parallel_for will use for a range of `n` items.
 [[nodiscard]] std::size_t parallel_workers(std::size_t n);
 
+/// Force parallel_for to use exactly min(workers, n) workers (0 restores
+/// the automatic policy). The partition depends only on (range, worker
+/// count), so A/B determinism tests pin 1 vs hardware_concurrency and
+/// assert bit-identical results. Not thread-safe against concurrent
+/// parallel_for calls; set it from the orchestrating thread only.
+void set_parallel_workers_override(std::size_t workers);
+
 /// Invoke fn(i) for every i in [begin, end), possibly from multiple
 /// threads. fn must not throw; indices are disjoint across workers.
 void parallel_for(std::size_t begin, std::size_t end,

@@ -1,0 +1,133 @@
+// Reusable open-addressing hash map with O(1) clear.
+//
+// The serve path needs small per-step maps (batch dedup tables, the
+// scheduler's per-round module claims) that used to be freshly constructed
+// std::unordered_maps — a heap allocation storm at every step. ScratchMap
+// keeps its slot array alive across steps and invalidates old entries by
+// bumping an epoch counter, so clear() is one increment and a warmed-up
+// map never allocates.
+//
+// Live entries are additionally threaded through an insertion-order list,
+// so iteration order is the insertion order — deterministic across
+// platforms and standard libraries, unlike unordered_map.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pramsim::util {
+
+template <typename Value>
+class ScratchMap {
+ public:
+  /// Drop all entries; capacity and allocations are retained.
+  void clear() {
+    ++epoch_;
+    touched_.clear();
+  }
+
+  /// Ensure capacity for `n` live entries without rehashing mid-step.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want < 2 * n) {
+      want *= 2;
+    }
+    if (want > slots_.size()) {
+      rehash(want);
+    }
+  }
+
+  /// Insert key with `init` if absent. Returns (value, inserted-fresh).
+  std::pair<Value*, bool> try_emplace(std::uint64_t key, Value init) {
+    if (2 * (touched_.size() + 1) > slots_.size()) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    std::size_t i = probe(key);
+    if (slots_[i].epoch == epoch_) {
+      return {&slots_[i].value, false};
+    }
+    slots_[i].key = key;
+    slots_[i].epoch = epoch_;
+    slots_[i].value = std::move(init);
+    touched_.push_back(static_cast<std::uint32_t>(i));
+    return {&slots_[i].value, true};
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  [[nodiscard]] Value* find(std::uint64_t key) {
+    if (slots_.empty()) {
+      return nullptr;
+    }
+    const std::size_t i = probe(key);
+    return slots_[i].epoch == epoch_ ? &slots_[i].value : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return touched_.size(); }
+
+  /// Live slot indices in insertion order (use key_at/value_at).
+  [[nodiscard]] const std::vector<std::uint32_t>& touched() const {
+    return touched_;
+  }
+  [[nodiscard]] std::uint64_t key_at(std::uint32_t slot) const {
+    return slots_[slot].key;
+  }
+  [[nodiscard]] Value& value_at(std::uint32_t slot) {
+    return slots_[slot].value;
+  }
+  [[nodiscard]] const Value& value_at(std::uint32_t slot) const {
+    return slots_[slot].value;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t epoch = 0;  ///< live iff == map epoch
+    Value value{};
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    return x ^ (x >> 33);
+  }
+
+  /// First live-with-key or free slot for `key` (linear probing; the load
+  /// factor is kept below 1/2 so probes terminate).
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (slots_[i].epoch == epoch_ && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void rehash(std::size_t capacity) {
+    PRAMSIM_ASSERT((capacity & (capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    std::vector<std::uint32_t> order = std::move(touched_);
+    slots_.assign(capacity, Slot{});
+    touched_.clear();
+    touched_.reserve(order.size());
+    ++epoch_;
+    for (const auto idx : order) {
+      Slot& from = old[idx];
+      const std::size_t i = probe(from.key);
+      slots_[i].key = from.key;
+      slots_[i].epoch = epoch_;
+      slots_[i].value = std::move(from.value);
+      touched_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> touched_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace pramsim::util

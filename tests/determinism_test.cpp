@@ -1,0 +1,113 @@
+// Determinism regression gate for the sharded, double-buffered pipeline:
+// run_stress / run_with_faults results must be bit-identical for the same
+// spec at 1 worker thread and at hardware_concurrency workers — both at
+// the trial level and with the within-trial (trial, family) sharding —
+// and with the double-buffered plan generator on or off.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/driver.hpp"
+#include "core/schemes.hpp"
+#include "faults/fault_model.hpp"
+#include "util/parallel.hpp"
+
+namespace pramsim {
+namespace {
+
+/// Restore the automatic worker policy even when an assertion fails.
+struct WorkerOverrideGuard {
+  ~WorkerOverrideGuard() { util::set_parallel_workers_override(0); }
+};
+
+void expect_stats_identical(const util::RunningStats& a,
+                            const util::RunningStats& b,
+                            const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean()) << what;
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum()) << what;
+  EXPECT_DOUBLE_EQ(a.min(), b.min()) << what;
+  EXPECT_DOUBLE_EQ(a.max(), b.max()) << what;
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance()) << what;
+}
+
+void expect_identical(const core::TraceRunResult& a,
+                      const core::TraceRunResult& b, const char* what) {
+  EXPECT_EQ(a.steps, b.steps) << what;
+  expect_stats_identical(a.time, b.time, what);
+  expect_stats_identical(a.work, b.work, what);
+  expect_stats_identical(a.live_after_stage1, b.live_after_stage1, what);
+  expect_stats_identical(a.max_queue, b.max_queue, what);
+  EXPECT_DOUBLE_EQ(a.storage_factor, b.storage_factor) << what;
+  EXPECT_EQ(a.reliability.reads_served, b.reliability.reads_served) << what;
+  EXPECT_EQ(a.reliability.wrong_reads, b.reliability.wrong_reads) << what;
+  EXPECT_EQ(a.reliability.faults_masked, b.reliability.faults_masked) << what;
+  EXPECT_EQ(a.reliability.erasures_skipped, b.reliability.erasures_skipped)
+      << what;
+  EXPECT_EQ(a.reliability.uncorrectable, b.reliability.uncorrectable) << what;
+  EXPECT_EQ(a.reliability.writes_dropped, b.reliability.writes_dropped)
+      << what;
+  EXPECT_EQ(a.reliability.corrupt_stores, b.reliability.corrupt_stores)
+      << what;
+}
+
+std::size_t many_workers() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 4);
+}
+
+TEST(Determinism, StressBitIdenticalAcrossWorkerCounts) {
+  WorkerOverrideGuard guard;
+  for (const auto kind : {core::SchemeKind::kDmmpc, core::SchemeKind::kIda,
+                          core::SchemeKind::kHashed}) {
+    core::SimulationPipeline pipeline({.kind = kind, .n = 16, .seed = 3});
+    // trials = 1 exercises pure within-trial (family) sharding; trials =
+    // 3 exercises both levels at once.
+    for (const std::size_t trials : {std::size_t{1}, std::size_t{3}}) {
+      const core::StressOptions options{
+          .steps_per_family = 2, .seed = 9, .trials = trials};
+      util::set_parallel_workers_override(1);
+      const auto serial = pipeline.run_stress(options);
+      util::set_parallel_workers_override(many_workers());
+      const auto parallel = pipeline.run_stress(options);
+      util::set_parallel_workers_override(0);
+      EXPECT_GT(serial.steps, 0u);
+      expect_identical(serial, parallel, core::to_string(kind));
+    }
+  }
+}
+
+TEST(Determinism, FaultRunBitIdenticalAcrossWorkerCounts) {
+  WorkerOverrideGuard guard;
+  for (const auto kind :
+       {core::SchemeKind::kDmmpc, core::SchemeKind::kHashed}) {
+    core::SimulationPipeline pipeline({.kind = kind, .n = 16, .seed = 3});
+    const faults::FaultSpec spec{
+        .seed = 41, .module_kill_rate = 0.2, .corruption_rate = 0.1};
+    const core::StressOptions options{
+        .steps_per_family = 2, .seed = 13, .trials = 3};
+    util::set_parallel_workers_override(1);
+    const auto serial = pipeline.run_with_faults(spec, options);
+    util::set_parallel_workers_override(many_workers());
+    const auto parallel = pipeline.run_with_faults(spec, options);
+    util::set_parallel_workers_override(0);
+    EXPECT_GT(serial.reliability.reads_served, 0u);
+    expect_identical(serial, parallel, core::to_string(kind));
+  }
+}
+
+TEST(Determinism, DoubleBufferingDoesNotChangeResults) {
+  for (const auto kind : {core::SchemeKind::kDmmpc, core::SchemeKind::kIda,
+                          core::SchemeKind::kHashed}) {
+    core::SimulationPipeline pipeline({.kind = kind, .n = 16, .seed = 3});
+    // steps_per_family >= 4 so the generator thread actually engages.
+    core::StressOptions options{.steps_per_family = 6, .seed = 21};
+    options.double_buffer = true;
+    const auto buffered = pipeline.run_stress(options);
+    options.double_buffer = false;
+    const auto serial = pipeline.run_stress(options);
+    expect_identical(buffered, serial, core::to_string(kind));
+  }
+}
+
+}  // namespace
+}  // namespace pramsim

@@ -1,0 +1,209 @@
+// The AccessPlan / PlanBuilder gate: the arena-backed plan must carry
+// exactly the joins the serve path consumes (request union, read/write
+// index maps, block groups), and MemorySystem::serve — native overrides
+// AND the default step() adapter — must stay value-equivalent to the
+// legacy step() path for every SchemeKind, including wrapped in
+// faults::FaultableMemory at fault rate 0.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/plan_builder.hpp"
+#include "core/schemes.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/faultable_memory.hpp"
+#include "pram/trace.hpp"
+#include "util/rng.hpp"
+
+namespace pramsim {
+namespace {
+
+pram::AccessBatch mixed_batch() {
+  pram::AccessBatch batch;
+  batch.push_back({ProcId(0), pram::AccessOp::kRead, VarId(5), 0});
+  batch.push_back({ProcId(3), pram::AccessOp::kWrite, VarId(5), 33});
+  batch.push_back({ProcId(1), pram::AccessOp::kWrite, VarId(5), 11});
+  batch.push_back({ProcId(2), pram::AccessOp::kRead, VarId(9), 0});
+  batch.push_back({ProcId(4), pram::AccessOp::kWrite, VarId(2), 44});
+  batch.push_back({ProcId(5), pram::AccessOp::kRead, VarId(9), 0});
+  return batch;
+}
+
+TEST(PlanBuilder, PlanCarriesCombinedListsAndJoins) {
+  pram::FlatMemory memory(16);
+  core::PlanBuilder builder;
+  const auto& plan = builder.build(mixed_batch(), memory);
+
+  // Combined lists: reads in first-appearance order, CW-resolved writes.
+  ASSERT_EQ(plan.reads.size(), 2u);
+  EXPECT_EQ(plan.reads[0], VarId(5));
+  EXPECT_EQ(plan.reads[1], VarId(9));
+  ASSERT_EQ(plan.writes.size(), 2u);
+  EXPECT_EQ(plan.writes[0].var, VarId(5));
+  EXPECT_EQ(plan.writes[0].value, 11);  // lowest-id writer wins
+  EXPECT_EQ(plan.writes[1].var, VarId(2));
+  EXPECT_EQ(plan.writes[1].value, 44);
+
+  // Request union: reads first, then write-only variables; ops/flags
+  // reflect the combined accesses.
+  ASSERT_EQ(plan.requests.size(), 3u);
+  EXPECT_EQ(plan.requests[0].var, VarId(5));
+  EXPECT_EQ(plan.requests[0].op, pram::AccessOp::kWrite);
+  EXPECT_TRUE(plan.requests[0].is_read);
+  EXPECT_EQ(plan.requests[1].var, VarId(9));
+  EXPECT_EQ(plan.requests[1].op, pram::AccessOp::kRead);
+  EXPECT_TRUE(plan.requests[1].is_read);
+  EXPECT_EQ(plan.requests[2].var, VarId(2));
+  EXPECT_EQ(plan.requests[2].op, pram::AccessOp::kWrite);
+  EXPECT_FALSE(plan.requests[2].is_read);
+
+  // Joins are mutually inverse.
+  ASSERT_EQ(plan.read_request.size(), plan.reads.size());
+  ASSERT_EQ(plan.write_request.size(), plan.writes.size());
+  ASSERT_EQ(plan.request_write.size(), plan.requests.size());
+  EXPECT_EQ(plan.read_request[0], 0u);
+  EXPECT_EQ(plan.read_request[1], 1u);
+  EXPECT_EQ(plan.write_request[0], 0u);
+  EXPECT_EQ(plan.write_request[1], 2u);
+  EXPECT_EQ(plan.request_write[0], 0u);
+  EXPECT_EQ(plan.request_write[1], pram::AccessPlan::kNone);
+  EXPECT_EQ(plan.request_write[2], 1u);
+
+  // FlatMemory requests no grouping.
+  EXPECT_FALSE(plan.grouped());
+}
+
+TEST(PlanBuilder, GroupsMatchTargetKeysAndPartitionRequests) {
+  auto memory = core::make_memory({.kind = core::SchemeKind::kIda,
+                                   .n = 16,
+                                   .seed = 5});
+  ASSERT_TRUE(memory->wants_plan_groups());
+  util::Rng rng(7);
+  core::PlanBuilder builder;
+  const auto batch = pram::make_batch(pram::TraceFamily::kUniform, 16,
+                                      memory->size(), rng);
+  const auto& plan = builder.build(batch, *memory);
+  ASSERT_TRUE(plan.grouped());
+  ASSERT_EQ(plan.group_offsets.size(), plan.num_groups() + 1);
+  ASSERT_EQ(plan.group_requests.size(), plan.requests.size());
+  EXPECT_EQ(plan.group_offsets.front(), 0u);
+  EXPECT_EQ(plan.group_offsets.back(), plan.requests.size());
+  std::vector<bool> seen(plan.requests.size(), false);
+  for (std::size_t g = 0; g < plan.num_groups(); ++g) {
+    if (g > 0) {
+      EXPECT_LT(plan.group_keys[g - 1], plan.group_keys[g]);  // ascending
+    }
+    for (std::uint32_t i = plan.group_offsets[g];
+         i < plan.group_offsets[g + 1]; ++i) {
+      const std::uint32_t req = plan.group_requests[i];
+      EXPECT_FALSE(seen[req]);  // a partition, not a cover
+      seen[req] = true;
+      EXPECT_EQ(memory->plan_group_of(plan.requests[req].var),
+                plan.group_keys[g]);
+      EXPECT_EQ(plan.request_group[req], g);
+    }
+  }
+  for (const bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(PlanBuilder, ReusedBuilderMatchesFreshBuilder) {
+  pram::FlatMemory memory(1 << 12);
+  core::PlanBuilder reused;
+  util::Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const auto batch = pram::make_batch(pram::TraceFamily::kUniform, 64,
+                                        1 << 12, rng);
+    const auto& plan = reused.build(batch, memory);
+    core::PlanBuilder fresh;
+    const auto& expected = fresh.build(batch, memory);
+    ASSERT_EQ(plan.reads.size(), expected.reads.size()) << round;
+    for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+      EXPECT_EQ(plan.reads[i], expected.reads[i]) << round;
+    }
+    ASSERT_EQ(plan.writes.size(), expected.writes.size()) << round;
+    for (std::size_t i = 0; i < plan.writes.size(); ++i) {
+      EXPECT_EQ(plan.writes[i].var, expected.writes[i].var) << round;
+      EXPECT_EQ(plan.writes[i].value, expected.writes[i].value) << round;
+    }
+    ASSERT_EQ(plan.requests.size(), expected.requests.size()) << round;
+  }
+}
+
+// The cross-path value-equivalence gate: for EVERY SchemeKind, serving
+// random traffic through serve(plan) must produce the same read values
+// and the same committed memory as the legacy step() path — including
+// with the scheme wrapped in a FaultableMemory at fault rate 0, where
+// serve() funnels through the wrapper's default adapter.
+class PlanServeTest : public ::testing::TestWithParam<core::SchemeKind> {};
+
+void expect_serve_matches_step(pram::MemorySystem& via_serve,
+                               pram::MemorySystem& via_step,
+                               std::uint32_t n, const char* name) {
+  util::Rng rng(23);
+  core::PlanBuilder builder;
+  const std::uint64_t m = via_serve.size();
+  for (int s = 0; s < 12; ++s) {
+    const auto family = s % 2 == 0 ? pram::TraceFamily::kUniform
+                                   : pram::TraceFamily::kPermutation;
+    auto family_rng = rng.split();
+    const auto batch = pram::make_batch(family, n, m, family_rng);
+    const auto& plan = builder.build(batch, via_serve);
+    std::vector<pram::Word> serve_values(plan.reads.size());
+    std::vector<pram::Word> step_values(plan.reads.size());
+    via_serve.serve(plan, serve_values);
+    via_step.step(plan.reads, step_values, plan.writes);
+    for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+      ASSERT_EQ(serve_values[i], step_values[i])
+          << name << " step " << s << " read " << i;
+    }
+  }
+  for (std::uint32_t v = 0; v < 2 * n; ++v) {
+    ASSERT_EQ(via_serve.peek(VarId(v)), via_step.peek(VarId(v)))
+        << name << " cell " << v;
+  }
+}
+
+TEST_P(PlanServeTest, ServeMatchesStepBitExact) {
+  const std::uint32_t n = 16;
+  const core::SchemeSpec spec{.kind = GetParam(), .n = n, .seed = 5};
+  auto via_serve = core::make_memory(spec);
+  auto via_step = core::make_memory(spec);
+  expect_serve_matches_step(*via_serve, *via_step, n,
+                            core::to_string(GetParam()));
+}
+
+TEST_P(PlanServeTest, ServeMatchesStepUnderInertFaultWrapper) {
+  const std::uint32_t n = 16;
+  const core::SchemeSpec spec{.kind = GetParam(), .n = n, .seed = 5};
+  const faults::FaultSpec inert{.seed = 77};
+  ASSERT_TRUE(inert.inert());
+  faults::FaultableMemory via_serve(core::make_memory(spec), inert);
+  faults::FaultableMemory via_step(core::make_memory(spec), inert);
+  expect_serve_matches_step(via_serve, via_step, n,
+                            core::to_string(GetParam()));
+  EXPECT_EQ(via_serve.reliability().wrong_reads, 0u);
+  EXPECT_EQ(via_step.reliability().wrong_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(EverySchemeKind, PlanServeTest,
+                         ::testing::ValuesIn(core::all_scheme_kinds()),
+                         [](const ::testing::TestParamInfo<core::SchemeKind>&
+                                info) {
+                           std::string name = core::to_string(info.param);
+                           for (auto& ch : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pramsim
