@@ -15,6 +15,18 @@
 
 namespace pramsim::bench {
 
+/// Version stamp written into every BENCH_*.json. Bump whenever driver
+/// semantics change in a way that makes trajectories non-comparable
+/// point-for-point with earlier PRs.
+///
+/// v2: PR 3 made families within a stress trial independent machines
+///     (state/telemetry no longer carry across families), so any
+///     BENCH_faults.json recorded before that is not point-comparable.
+/// v3: dynamic-onset faults + background scrubbing (BENCH_recovery.json
+///     introduced; static sweeps with scrubbing disabled and onset 0
+///     remain identical to v2).
+inline constexpr int kBenchSchemaVersion = 3;
+
 inline void banner(const char* exp_id, const char* paper_artifact,
                    const char* claim) {
   std::printf("\n############################################################\n");
@@ -123,7 +135,9 @@ class Reporter {
       return;
     }
     std::string out = "{\"experiment\": \"" + util::json_escape(exp_id_) +
-                      "\", \"artifact\": \"" + util::json_escape(artifact_) +
+                      "\", \"schema_version\": " +
+                      std::to_string(kBenchSchemaVersion) +
+                      ", \"artifact\": \"" + util::json_escape(artifact_) +
                       "\", \"tables\": [";
     for (std::size_t i = 0; i < table_json_.size(); ++i) {
       out += (i ? ", " : "") + table_json_[i];

@@ -1,13 +1,21 @@
 // Fault tour: watch one scheme survive module death.
 //
-// We build the paper's Theorem 2 machine (HP-DMMPC, r = 2c-1 copies per
-// variable over M = n^2 modules), wrap it in a FaultableMemory, and kill
-// an escalating number of memory modules. The degraded-mode protocol
-// (write-through + majority vote over surviving copies) keeps answering
-// correctly long after an unreplicated memory would have lost data — and
-// the trace-consistency oracle certifies that no read ever lied.
+// Demonstrates the faults subsystem on the paper's Theorem 2 machine
+// (HP-DMMPC, r = 2c-1 copies per variable over M = n^2 modules): wrap it
+// in a FaultableMemory and kill an escalating number of memory modules.
+// The degraded-mode protocol (write-through + majority vote over
+// surviving copies) keeps answering correctly long after an unreplicated
+// memory would have lost data — and the trace-consistency oracle
+// certifies that no read ever lied. (bench_faults sweeps all ten schemes
+// to their breaking points; bench_recovery adds mid-run onsets and
+// scrub-driven repair.)
 //
-//   $ ./example_fault_tour
+// Expected output: a table comparing HP-DMMPC against MV-hashing at an
+// escalating dead-module count: the majority column stays at 100%
+// correct reads with a growing masked-fault count and a clean oracle
+// verdict, while the hashing column loses reads as soon as modules die.
+//
+// Build & run:  ./build/example_fault_tour
 #include <cstdio>
 #include <memory>
 

@@ -2,11 +2,16 @@
 // workload (Nath, Maheshwari & Bhatt 1983 proposed "orthogonal trees" for
 // exactly this, as the paper recounts).
 //
-// y = A*x with one processor per row runs as a CREW P-RAM program on the
-// Theorem 3 machine; concurrent reads of x[j] are combined before the
-// protocol runs, so the constant-redundancy scheme serves them once.
+// Demonstrates a CREW P-RAM program end to end: y = A*x with one
+// processor per row runs on the Theorem 3 machine; concurrent reads of
+// x[j] are combined before the protocol runs, so the constant-redundancy
+// scheme serves them once.
 //
-// Build & run:  ./build/examples/example_matrix_vector
+// Expected output: the computed y vector side by side with the directly
+// evaluated product (always equal), plus the simulated step count and
+// per-step cost the machine charged for it.
+//
+// Build & run:  ./build/example_matrix_vector
 #include <cstdio>
 #include <vector>
 

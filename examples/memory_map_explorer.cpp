@@ -1,14 +1,18 @@
 // Memory-map explorer: poke at Lemma 2 interactively-ish.
 //
-// For a machine size (n, k) this walks the granularity knob eps and the
-// expansion parameter b, printing for each configuration:
-//   * the Lemma 2 threshold c and redundancy r = 2c-1;
-//   * the union-bound log2 fraction of "bad" random maps;
-//   * the measured worst-case expansion of a concrete seeded map under a
-//     greedy adversarial live-copy selection (ratio >= 1 means the Lemma 2
-//     property held on every sampled live set).
+// Demonstrates the memory-map layer on its own: for a machine size
+// (n, k) it walks the granularity knob eps and the expansion parameter
+// b, printing for each configuration the Lemma 2 threshold c and
+// redundancy r = 2c-1, the union-bound log2 fraction of "bad" random
+// maps, and the measured worst-case expansion of a concrete seeded map
+// under a greedy adversarial live-copy selection.
 //
-// Usage: example_memory_map_explorer [n] [k]     (defaults: 256 2.0)
+// Expected output: one table row per (eps, b) configuration; the
+// "ratio" column >= 1 on every row means the Lemma 2 expansion property
+// held on every sampled live set — smaller eps (coarser granularity)
+// needs larger c to keep it there, which is the paper's central knob.
+//
+// Usage: ./build/example_memory_map_explorer [n] [k]  (defaults: 256 2.0)
 #include <cstdio>
 #include <cstdlib>
 

@@ -1,11 +1,17 @@
 // Parallel prefix sums through the full simulation stack, on every scheme.
 //
-// The same EREW P-RAM program (Hillis-Steele with double buffering) runs
-// on the ideal P-RAM and on all five simulating machines; all must agree
-// bit-for-bit, and the printed table shows what each machine charges for
-// the privilege — the redundancy/time trade the paper is about.
+// Demonstrates that one EREW P-RAM program (Hillis-Steele with double
+// buffering) runs unchanged on the ideal P-RAM and on the simulating
+// machines; all must agree bit-for-bit, and the printed table shows what
+// each machine charges for the privilege — the redundancy/time trade the
+// paper is about.
 //
-// Build & run:  ./build/examples/example_parallel_prefix
+// Expected output: a per-scheme table of total simulated time and work
+// for the same prefix-sum run, preceded by an agreement check line —
+// any mismatch would abort, so the table itself is the proof of
+// bit-exact simulation.
+//
+// Build & run:  ./build/example_parallel_prefix
 #include <cstdio>
 #include <vector>
 

@@ -1,11 +1,19 @@
 // Quickstart: the 60-second tour of pramsim's public API.
 //
-// 1. Assemble the paper's machine (Theorem 3: a 2DMOT with constant
-//    redundancy) with one factory call.
-// 2. Feed it a worst-case-ish P-RAM step and read the simulated cost.
-// 3. Run a real P-RAM program on top of it and check the answer.
+// Demonstrates the three moves everything else builds on: (1) assemble
+// the paper's machine (Theorem 3: a 2DMOT with constant redundancy) with
+// one core::make_scheme call, (2) feed it a worst-case-ish P-RAM step
+// through the SimulationPipeline and read the simulated cost, (3) run a
+// real P-RAM program (parallel sum) on top of it via pram::Machine and
+// check the answer.
 //
-// Build & run:  ./build/examples/example_quickstart
+// Expected output: a few banner lines with the assembled machine's
+// parameters (n, M, r), one cost line for the served step (time in
+// rounds, work, max queue), and a final line confirming the program's
+// result matches the ideal P-RAM's — always, since the simulation is
+// exact.
+//
+// Build & run:  ./build/example_quickstart
 #include <cstdio>
 
 #include "core/driver.hpp"

@@ -3,6 +3,12 @@
 // a single program run. One loop over the scheme factory; the pipeline
 // does the combining and stepping, so no engine is special-cased.
 //
+// Expected output: one table with a row per SchemeKind (all ten) showing
+// each machine's model, redundancy r, storage blow-up, and the simulated
+// time/work it charged for the same step — the constant-redundancy
+// schemes cluster at storage x ~ r with bounded time, the probabilistic
+// single-copy rows are cheap on storage but exposed on adversarial time.
+//
 // Build & run:  ./build/example_scheme_tour
 #include <cstdio>
 #include <vector>

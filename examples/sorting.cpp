@@ -2,7 +2,12 @@
 // redundancy HP machine with the log-redundancy LPP baseline on the same
 // input. Both must sort correctly; the interesting column is the cost.
 //
-// Build & run:  ./build/examples/example_sorting
+// Expected output: the sorted sequence (verified against std::sort),
+// then one row per machine with its redundancy r, simulated time, and
+// redundancy-weighted cost — the HP machine wins the weighted column,
+// which is the paper's headline trade.
+//
+// Build & run:  ./build/example_sorting
 #include <algorithm>
 #include <cstdio>
 #include <vector>

@@ -1,5 +1,6 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,8 @@ void TraceRunResult::merge(const TraceRunResult& other) {
   max_queue.merge(other.max_queue);
   steps += other.steps;
   reliability.merge(other.reliability);
+  scrub_passes += other.scrub_passes;
+  scrub.merge(other.scrub);
   if (other.breaking_fault_rate >= 0.0 &&
       (breaking_fault_rate < 0.0 ||
        other.breaking_fault_rate < breaking_fault_rate)) {
@@ -37,25 +40,46 @@ void record_step(TraceRunResult& result, const pram::MemStepCost& cost) {
   ++result.steps;
 }
 
+/// Interleaved background-scrub cadence (StressOptions scrub knobs).
+struct ScrubCadence {
+  std::uint32_t interval = 0;  ///< scrub every this many served steps
+  std::uint64_t budget = 0;
+
+  [[nodiscard]] bool enabled() const { return interval > 0 && budget > 0; }
+
+  /// Run a pass when the cadence says so; `served` is the number of
+  /// steps completed on this memory. Accumulates into `result`.
+  void maybe_scrub(pram::MemorySystem& memory, std::size_t served,
+                   TraceRunResult& result) const {
+    if (enabled() && served % interval == 0) {
+      ++result.scrub_passes;
+      result.scrub.merge(memory.scrub(budget));
+    }
+  }
+};
+
 /// Serve `trace` through the plan path. With `double_buffer` (and a trace
 /// long enough to amortize the thread), a generator thread builds plan
 /// N+1 into the spare builder slot while this thread serves plan N —
 /// batch combining/grouping fully overlaps engine stepping. Results are
 /// identical to the serial loop: plans are served strictly in trace
 /// order, and plan building never touches memory state (plan_group_of is
-/// immutable by contract).
+/// immutable by contract). Scrub passes run on the serving thread after
+/// a step completes, so they are ordered with serving either way.
 TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
                                    std::span<const pram::AccessBatch> trace,
-                                   bool double_buffer) {
+                                   bool double_buffer,
+                                   const ScrubCadence& scrub = {}) {
   TraceRunResult result;
   result.storage_factor = memory.storage_redundancy();
   std::vector<pram::Word> values;
   if (!double_buffer || trace.size() < 4) {
     PlanBuilder builder;
-    for (const auto& batch : trace) {
-      const auto& plan = builder.build(batch, memory);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& plan = builder.build(trace[i], memory);
       values.resize(plan.reads.size());
       record_step(result, memory.serve(plan, values));
+      scrub.maybe_scrub(memory, i + 1, result);
     }
     return result;
   }
@@ -87,6 +111,7 @@ TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
     const pram::AccessPlan& plan = slots[i % 2].plan();
     values.resize(plan.reads.size());
     record_step(result, memory.serve(plan, values));
+    scrub.maybe_scrub(memory, i + 1, result);
     {
       const std::lock_guard lock(mutex);
       served = i + 1;
@@ -174,7 +199,9 @@ TraceRunResult SimulationPipeline::run_stress_impl(
       const auto trace = pram::make_trace(families[stage], n, m,
                                           options.steps_per_family,
                                           family_rng);
-      shard = run_trace_pipelined(*memory, trace, double_buffer);
+      shard = run_trace_pipelined(
+          *memory, trace, double_buffer,
+          ScrubCadence{options.scrub_interval, options.scrub_budget});
     } else {
       for (std::size_t f = 0; f < families.size(); ++f) {
         (void)rng.split();
@@ -188,6 +215,7 @@ TraceRunResult SimulationPipeline::run_stress_impl(
       // causes (e.g. a rehashing backend redrawing its hash).
       const memmap::MemoryMap* map = memory->memory_map();
       shard.storage_factor = memory->storage_redundancy();
+      const ScrubCadence scrub{options.scrub_interval, options.scrub_budget};
       PlanBuilder builder;
       std::vector<pram::Word> values;
       for (std::size_t step = 0; step < options.steps_per_family; ++step) {
@@ -205,6 +233,7 @@ TraceRunResult SimulationPipeline::run_stress_impl(
         const pram::AccessPlan& plan = builder.build(batch, *memory);
         values.resize(plan.reads.size());
         record_step(shard, memory->serve(plan, values));
+        scrub.maybe_scrub(*memory, step + 1, shard);
       }
     }
     shard.reliability = memory->reliability();
@@ -236,8 +265,97 @@ FaultSweepResult SimulationPipeline::run_fault_sweep(
         level.run.reliability.uncorrectable > 0) {
       result.first_uncorrectable_rate = rate;
     }
+    if (options.measure_recovery && !level_spec.inert()) {
+      level.recovery_steps =
+          run_recovery(level_spec, options.recovery).recovery_steps;
+      if (level.recovery_steps > result.worst_recovery_steps) {
+        result.worst_recovery_steps = level.recovery_steps;
+      }
+    }
     result.total.merge(level.run);
     result.levels.push_back(std::move(level));
+  }
+  return result;
+}
+
+RecoveryResult SimulationPipeline::run_recovery(
+    const faults::FaultSpec& fault_spec,
+    const RecoveryOptions& options) const {
+  RecoveryResult result;
+  // One fresh machine, wrapped for injection + oracle checking; the whole
+  // probe is served on this thread so the trajectory is bit-identical at
+  // any worker-thread count.
+  auto instance = make_scheme(spec_);
+  const std::uint64_t m = instance.m;
+  auto memory = std::make_unique<faults::FaultableMemory>(
+      std::move(instance.memory), fault_spec);
+  result.onset_step =
+      static_cast<std::int64_t>(memory->model().first_onset());
+
+  util::Rng rng(options.seed);
+  const auto trace = pram::make_trace(options.family, spec_.n, m,
+                                      options.steps, rng);
+  const ScrubCadence scrub{options.scrub_interval, options.scrub_budget};
+
+  PlanBuilder builder;
+  std::vector<pram::Word> values;
+  pram::ReliabilityStats prev;
+  result.trajectory.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const pram::AccessPlan& plan = builder.build(trace[i], *memory);
+    values.resize(plan.reads.size());
+    (void)memory->serve(plan, values);
+    // Scrub AFTER sampling? No: scrub between steps, then sample, so a
+    // step's point reflects the reads it served and the repairs that
+    // followed it — the next step is the first to benefit.
+    TraceRunResult scrub_sink;
+    scrub.maybe_scrub(*memory, i + 1, scrub_sink);
+    result.scrub.merge(scrub_sink.scrub);
+
+    const pram::ReliabilityStats now = memory->reliability();
+    RecoveryPoint point;
+    point.step = i + 1;
+    point.reads = now.reads_served - prev.reads_served;
+    point.masked = now.faults_masked - prev.faults_masked;
+    point.uncorrectable = now.uncorrectable - prev.uncorrectable;
+    point.wrong = now.wrong_reads - prev.wrong_reads;
+    point.repaired = now.units_repaired - prev.units_repaired;
+    point.relocated = now.units_relocated - prev.units_relocated;
+    point.degraded_rate =
+        point.reads > 0 ? static_cast<double>(point.masked +
+                                              point.uncorrectable) /
+                              static_cast<double>(point.reads)
+                        : 0.0;
+    prev = now;
+    result.trajectory.push_back(point);
+  }
+  result.reliability = memory->reliability();
+
+  // Read the recovery time off the trajectory: the first over-threshold
+  // step is the injury, and recovery is the first step from which the
+  // degraded rate STAYS at or below the threshold.
+  std::int64_t last_bad = -1;
+  for (const auto& point : result.trajectory) {
+    result.peak_degraded_rate =
+        std::max(result.peak_degraded_rate, point.degraded_rate);
+    if (point.degraded_rate > options.recovery_threshold) {
+      if (result.first_degraded_step < 0) {
+        result.first_degraded_step = static_cast<std::int64_t>(point.step);
+      }
+      last_bad = static_cast<std::int64_t>(point.step);
+    }
+  }
+  if (!result.trajectory.empty()) {
+    result.final_degraded_rate = result.trajectory.back().degraded_rate;
+  }
+  if (result.first_degraded_step >= 0) {
+    const auto last_step =
+        static_cast<std::int64_t>(result.trajectory.back().step);
+    if (last_bad < last_step) {
+      result.recovered_step = last_bad + 1;
+      result.recovery_steps =
+          result.recovered_step - result.first_degraded_step;
+    }
   }
   return result;
 }

@@ -41,6 +41,10 @@ struct TraceRunResult {
   /// First fault intensity at which the scheme SILENTLY returned a wrong
   /// value (set by run_fault_sweep); negative = never broke in the sweep.
   double breaking_fault_rate = -1.0;
+  /// Background-scrub telemetry (all-zero unless StressOptions enabled
+  /// scrubbing): passes the driver interleaved and what they performed.
+  std::uint64_t scrub_passes = 0;
+  pram::ScrubResult scrub;
 
   /// Redundancy-weighted cost: mean step time scaled by the storage
   /// blow-up — the "time x memory" currency the paper's trade-offs
@@ -87,6 +91,31 @@ struct StressOptions {
   /// phase, whose state-dependent batch generation must stay interleaved
   /// with serving); off disables the overlap entirely.
   bool double_buffer = true;
+  /// Background scrubbing: every `scrub_interval` served steps the driver
+  /// calls memory.scrub(scrub_budget) between steps (0 = disabled). The
+  /// pass runs on the serving thread, after the step completes and
+  /// before the next plan is served, so double-buffered plan building is
+  /// unaffected (plans never depend on memory state).
+  std::uint32_t scrub_interval = 0;
+  std::uint64_t scrub_budget = 0;
+};
+
+/// Recovery-probe parameters: a single machine serves one trace family
+/// while dynamic faults (the spec's onset window) land mid-run and a
+/// budgeted scrub pass runs every `scrub_interval` steps; the probe
+/// records the per-step masked-fault trajectory the recovery time is
+/// read off. Single-threaded by construction: trajectories are
+/// bit-identical at any worker-thread count.
+struct RecoveryOptions {
+  std::size_t steps = 64;
+  std::uint64_t seed = 1;
+  pram::TraceFamily family = pram::TraceFamily::kUniform;
+  /// Scrub cadence (0 = scrubbing disabled: degradation-only baseline).
+  std::uint32_t scrub_interval = 4;
+  std::uint64_t scrub_budget = 64;
+  /// A step is "recovered" when its masked+uncorrectable rate (bad reads
+  /// per read) is at or below this.
+  double recovery_threshold = 0.02;
 };
 
 /// Fault-sweep parameters: ramp the prototype's rate axes through
@@ -95,17 +124,59 @@ struct StressOptions {
 struct FaultSweepOptions {
   std::vector<double> rates = {0.0, 0.0125, 0.025, 0.05, 0.1, 0.2, 0.4};
   /// Which fault axes scale with the ramp (defaults: module kills and
-  /// write corruption; stuck cells off).
+  /// write corruption; stuck cells off). Give the proto an onset window
+  /// (FaultSpec::onset_min/onset_max) for fail-during-run sweeps.
   faults::FaultSpec proto{
       .seed = 1, .dead_modules = 0, .module_kill_rate = 1.0,
       .stuck_rate = 0.0, .corruption_rate = 1.0};
   StressOptions stress;
+  /// Additionally run a single-machine recovery probe (run_recovery) at
+  /// each level and report steps-to-recover alongside the breaking
+  /// point. Meaningful with a dynamic-onset proto + scrubbing enabled in
+  /// `recovery`; the probe never affects the sweep's own telemetry.
+  bool measure_recovery = false;
+  RecoveryOptions recovery;
+};
+
+/// One step of a recovery trajectory (per-step deltas, not cumulative).
+struct RecoveryPoint {
+  std::uint64_t step = 0;       ///< 1-based step number
+  std::uint64_t reads = 0;      ///< reads served this step
+  std::uint64_t masked = 0;     ///< reads masked despite >= 1 bad unit
+  std::uint64_t uncorrectable = 0;  ///< flagged losses this step
+  std::uint64_t wrong = 0;      ///< silent lies this step (oracle)
+  std::uint64_t repaired = 0;   ///< entities repaired by scrubs this step
+  std::uint64_t relocated = 0;  ///< copies/shares re-homed this step
+  double degraded_rate = 0.0;   ///< (masked + uncorrectable) / reads
+};
+
+struct RecoveryResult {
+  std::vector<RecoveryPoint> trajectory;
+  /// Earliest fault onset the model realized: the first dead-module
+  /// onset, or the onset window's start for stuck/corruption-only specs
+  /// (whose lazy per-unit onsets cannot be enumerated); 0 when static.
+  std::int64_t onset_step = -1;
+  /// First step whose degraded rate exceeded the threshold; -1 = never
+  /// degraded (faults missed the touched working set).
+  std::int64_t first_degraded_step = -1;
+  /// First step from which the degraded rate stays at or below the
+  /// threshold for the rest of the run; -1 = still degraded at the end.
+  std::int64_t recovered_step = -1;
+  /// recovered_step - first_degraded_step; -1 when either is undefined.
+  std::int64_t recovery_steps = -1;
+  double peak_degraded_rate = 0.0;
+  double final_degraded_rate = 0.0;  ///< last recorded step's rate
+  pram::ReliabilityStats reliability;  ///< run totals
+  pram::ScrubResult scrub;             ///< scrub totals
 };
 
 /// One ramp level's outcome.
 struct FaultLevelResult {
   double rate = 0.0;
   TraceRunResult run;
+  /// Scrub-driven recovery time at this level (FaultSweepOptions::
+  /// measure_recovery); semantics as RecoveryResult::recovery_steps.
+  std::int64_t recovery_steps = -1;
 };
 
 struct FaultSweepResult {
@@ -115,6 +186,9 @@ struct FaultSweepResult {
   TraceRunResult total;
   /// First rate with any flagged (uncorrectable) read; negative = none.
   double first_uncorrectable_rate = -1.0;
+  /// Slowest measured recovery across levels; -1 = none measured (or
+  /// some level never recovered, reported per level).
+  std::int64_t worst_recovery_steps = -1;
 };
 
 /// The one driver every scheme kind runs through. Construct from a spec;
@@ -146,6 +220,16 @@ class SimulationPipeline {
   /// Ramp fault intensity until (and past) each scheme's breaking point.
   [[nodiscard]] FaultSweepResult run_fault_sweep(
       const FaultSweepOptions& options = {}) const;
+
+  /// The onset -> degradation -> scrub-recovery probe: one fresh machine
+  /// under `fault_spec` (typically dynamic-onset) serves one trace
+  /// family while the driver scrubs on the configured cadence, recording
+  /// the per-step masked/uncorrectable trajectory and the recovery time
+  /// (steps from first degradation until the degraded rate stays below
+  /// the threshold). Deterministic given (spec, fault_spec, options).
+  [[nodiscard]] RecoveryResult run_recovery(
+      const faults::FaultSpec& fault_spec,
+      const RecoveryOptions& options = {}) const;
 
  private:
   [[nodiscard]] TraceRunResult run_stress_impl(

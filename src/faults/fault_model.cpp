@@ -45,6 +45,17 @@ FaultModel::FaultModel(FaultSpec spec, std::uint32_t n_modules)
   for (const auto flag : dead_) {
     n_dead_ += flag;
   }
+  // Onset steps are drawn INDEPENDENTLY of the kill decision (different
+  // mix tag), so widening or moving the onset window never changes which
+  // modules die — only when.
+  onset_.assign(dead_.size(), 0);
+  if (spec_.dynamic()) {
+    for (std::uint32_t module = 0; module < M; ++module) {
+      if (dead_[module] != 0) {
+        onset_[module] = unit_onset(6, module, 0);
+      }
+    }
+  }
 }
 
 std::uint64_t FaultModel::mix(std::uint64_t tag, std::uint64_t a,
@@ -55,12 +66,23 @@ std::uint64_t FaultModel::mix(std::uint64_t tag, std::uint64_t a,
   return util::SplitMix64(h ^ (c * 0xD6E8FEB86659FD93ULL)).next();
 }
 
-bool FaultModel::module_dead(ModuleId module) const {
-  return module.index() < dead_.size() && dead_[module.index()] != 0;
+std::uint64_t FaultModel::unit_onset(std::uint64_t tag, std::uint64_t a,
+                                     std::uint64_t b) const {
+  if (!spec_.dynamic()) {
+    return 0;
+  }
+  const std::uint64_t lo = std::min(spec_.onset_min, spec_.onset_max);
+  const std::uint64_t hi = std::max(spec_.onset_min, spec_.onset_max);
+  return lo + mix(tag, a, b, 0) % (hi - lo + 1);
+}
+
+bool FaultModel::module_dead(ModuleId module, std::uint64_t step) const {
+  return module.index() < dead_.size() && dead_[module.index()] != 0 &&
+         step >= onset_[module.index()];
 }
 
 bool FaultModel::stuck_at(std::uint64_t entity, std::uint32_t copy,
-                          pram::Word& value) const {
+                          std::uint64_t step, pram::Word& value) const {
   if (spec_.stuck_rate <= 0.0) {
     return false;
   }
@@ -68,13 +90,16 @@ bool FaultModel::stuck_at(std::uint64_t entity, std::uint32_t copy,
   if (to_unit(h) >= spec_.stuck_rate) {
     return false;
   }
+  if (step < unit_onset(7, entity, copy)) {
+    return false;  // dynamic fault not yet active
+  }
   // The stuck garbage is itself a pure function of the cell.
   value = static_cast<pram::Word>(mix(3, entity, copy, 0));
   return true;
 }
 
 bool FaultModel::corrupt_write(std::uint64_t entity, std::uint32_t copy,
-                               std::uint64_t stamp,
+                               std::uint64_t stamp, std::uint64_t step,
                                pram::Word& value) const {
   if (spec_.corruption_rate <= 0.0) {
     return false;
@@ -82,6 +107,9 @@ bool FaultModel::corrupt_write(std::uint64_t entity, std::uint32_t copy,
   const std::uint64_t h = mix(4, entity, copy, stamp);
   if (to_unit(h) >= spec_.corruption_rate) {
     return false;
+  }
+  if (step < unit_onset(8, entity, copy)) {
+    return false;  // the store path is still healthy before its onset
   }
   // XOR with a nonzero mask guarantees the committed word is wrong.
   value ^= static_cast<pram::Word>(mix(5, entity, copy, stamp) | 1ULL);
@@ -97,6 +125,28 @@ std::vector<ModuleId> FaultModel::dead_modules() const {
     }
   }
   return out;
+}
+
+std::uint64_t FaultModel::module_onset(ModuleId module) const {
+  PRAMSIM_ASSERT(module.index() < onset_.size());
+  return onset_[module.index()];
+}
+
+std::uint64_t FaultModel::first_onset() const {
+  std::uint64_t first = 0;
+  bool found = false;
+  for (std::uint32_t module = 0; module < dead_.size(); ++module) {
+    if (dead_[module] != 0 && (!found || onset_[module] < first)) {
+      first = onset_[module];
+      found = true;
+    }
+  }
+  if (found) {
+    return first;
+  }
+  // No module ever dies: stuck/corruption onsets are lazy per-unit
+  // hashes we cannot enumerate, so report the earliest possible onset.
+  return spec_.dynamic() ? std::min(spec_.onset_min, spec_.onset_max) : 0;
 }
 
 }  // namespace pramsim::faults

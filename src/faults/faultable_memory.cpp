@@ -46,12 +46,12 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
     std::vector<pram::VarWrite> degraded;
     degraded.reserve(writes.size());
     for (const auto& write : writes) {
-      if (model_.module_dead(synthetic_module(write.var))) {
+      if (model_.module_dead(synthetic_module(write.var), steps_)) {
         ++wrapper_stats_.writes_dropped;
         continue;
       }
       pram::VarWrite w = write;
-      if (model_.corrupt_write(w.var.index(), 0, steps_, w.value)) {
+      if (model_.corrupt_write(w.var.index(), 0, steps_, steps_, w.value)) {
         ++wrapper_stats_.corrupt_stores;
       }
       degraded.push_back(w);
@@ -59,7 +59,7 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
     cost = inner_->step(reads, read_values, degraded);
     for (std::size_t i = 0; i < reads.size(); ++i) {
       ++wrapper_stats_.reads_served;
-      if (model_.module_dead(synthetic_module(reads[i]))) {
+      if (model_.module_dead(synthetic_module(reads[i]), steps_)) {
         read_values[i] = 0;
         flagged[i] = true;
         ++wrapper_stats_.uncorrectable;
@@ -68,7 +68,7 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
         continue;
       }
       pram::Word stuck = 0;
-      if (model_.stuck_at(reads[i].index(), 0, stuck)) {
+      if (model_.stuck_at(reads[i].index(), 0, steps_, stuck)) {
         read_values[i] = stuck;
         ++wrapper_stats_.units_faulty;
       }
@@ -97,11 +97,11 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
 
 pram::Word FaultableMemory::peek(VarId var) const {
   if (!inner_injects_) {
-    if (model_.module_dead(synthetic_module(var))) {
+    if (model_.module_dead(synthetic_module(var), steps_)) {
       return 0;
     }
     pram::Word stuck = 0;
-    if (model_.stuck_at(var.index(), 0, stuck)) {
+    if (model_.stuck_at(var.index(), 0, steps_, stuck)) {
       return stuck;
     }
   }
@@ -111,15 +111,22 @@ pram::Word FaultableMemory::peek(VarId var) const {
 void FaultableMemory::poke(VarId var, pram::Word value) {
   checker_.record_write(var, value);
   if (!inner_injects_) {
-    if (model_.module_dead(synthetic_module(var))) {
+    if (model_.module_dead(synthetic_module(var), steps_)) {
       ++wrapper_stats_.writes_dropped;
       return;
     }
-    if (model_.corrupt_write(var.index(), 0, steps_, value)) {
+    if (model_.corrupt_write(var.index(), 0, steps_, steps_, value)) {
       ++wrapper_stats_.corrupt_stores;
     }
   }
   inner_->poke(var, value);
+}
+
+pram::ScrubResult FaultableMemory::scrub(std::uint64_t budget) {
+  // Replica-level schemes repair themselves; wrapper-level injection has
+  // a single synthetic copy per variable — nothing to rebuild from — and
+  // the un-hooked inner scheme's scrub() is a no-op by contract.
+  return inner_->scrub(budget);
 }
 
 pram::ReliabilityStats FaultableMemory::reliability() const {

@@ -1,7 +1,7 @@
-// FaultableMemory: degrade ANY pram::MemorySystem under a seeded static
-// FaultModel and verify every surviving read against a trace-consistency
-// oracle — the adversity harness the paper's redundancy claims are
-// scored on.
+// FaultableMemory: degrade ANY pram::MemorySystem under a seeded
+// FaultModel (static or dynamic-onset) and verify every surviving read
+// against a trace-consistency oracle — the adversity harness the paper's
+// redundancy claims are scored on.
 //
 // Two injection regimes, chosen automatically:
 //
@@ -65,6 +65,10 @@ class FaultableMemory final : public pram::MemorySystem {
     return inner_->adversarial_vars(count, seed);
   }
   [[nodiscard]] pram::ReliabilityStats reliability() const override;
+  /// Background repair passes through to the wrapped scheme (replica-
+  /// level injection repairs at copy/share granularity; wrapper-level
+  /// schemes have nothing to rebuild from, so the pass is a no-op).
+  pram::ScrubResult scrub(std::uint64_t budget) override;
 
   [[nodiscard]] const FaultModel& model() const { return model_; }
   [[nodiscard]] const TraceChecker& checker() const { return checker_; }

@@ -131,7 +131,7 @@ pram::Word MvMemory::faulted_read(VarId var, bool* flagged) {
     return cells_[var.index()];
   }
   ++reliability_.reads_served;
-  if (hooks_->module_dead(ModuleId(module_of(var)))) {
+  if (hooks_->module_dead(ModuleId(module_of(var)), steps_)) {
     ++reliability_.uncorrectable;
     ++reliability_.erasures_skipped;
     ++reliability_.units_faulty;
@@ -140,7 +140,7 @@ pram::Word MvMemory::faulted_read(VarId var, bool* flagged) {
   }
   pram::Word value = cells_[var.index()];
   pram::Word stuck = 0;
-  if (hooks_->stuck_at(var.index(), 0, stuck)) {
+  if (hooks_->stuck_at(var.index(), 0, steps_, stuck)) {
     ++reliability_.units_faulty;
     value = stuck;  // single copy: nothing to out-vote the stuck cell
   }
@@ -149,11 +149,11 @@ pram::Word MvMemory::faulted_read(VarId var, bool* flagged) {
 
 void MvMemory::faulted_write(VarId var, pram::Word value) {
   if (hooks_ != nullptr) {
-    if (hooks_->module_dead(ModuleId(module_of(var)))) {
+    if (hooks_->module_dead(ModuleId(module_of(var)), steps_)) {
       ++reliability_.writes_dropped;
       return;
     }
-    if (hooks_->corrupt_write(var.index(), 0, steps_, value)) {
+    if (hooks_->corrupt_write(var.index(), 0, steps_, steps_, value)) {
       ++reliability_.corrupt_stores;
     }
   }
@@ -196,11 +196,11 @@ std::vector<VarId> MvMemory::adversarial_vars(std::uint32_t count,
 pram::Word MvMemory::peek(VarId var) const {
   PRAMSIM_ASSERT(var.index() < cells_.size());
   if (hooks_ != nullptr) {
-    if (hooks_->module_dead(ModuleId(module_of(var)))) {
+    if (hooks_->module_dead(ModuleId(module_of(var)), steps_)) {
       return 0;
     }
     pram::Word stuck = 0;
-    if (hooks_->stuck_at(var.index(), 0, stuck)) {
+    if (hooks_->stuck_at(var.index(), 0, steps_, stuck)) {
       return stuck;
     }
   }

@@ -7,6 +7,7 @@
 
 #include "util/assert.hpp"
 #include "util/math.hpp"
+#include "util/rng.hpp"
 
 namespace pramsim::ida {
 
@@ -28,6 +29,20 @@ pram::Word IdaMemory::share_at(std::uint64_t block, std::uint32_t j) const {
   return it == shares_.end() ? zero_shares_[j] : it->second[j];
 }
 
+void IdaMemory::placement_into_current(std::uint64_t block,
+                                       std::span<ModuleId> out) const {
+  placement_.copies_into(VarId(static_cast<std::uint32_t>(block)), out);
+  if (relocated_.empty()) {
+    return;
+  }
+  for (std::uint32_t j = 0; j < config_.d; ++j) {
+    const auto it = relocated_.find(block * config_.d + j);
+    if (it != relocated_.end()) {
+      out[j] = it->second;
+    }
+  }
+}
+
 std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
                                                  std::uint32_t* erased,
                                                  std::uint32_t* faulty,
@@ -44,9 +59,9 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
     return disperser_.recover_words(indices, vals);
   }
   std::vector<ModuleId> modules(config_.d);
-  placement_.copies_into(VarId(static_cast<std::uint32_t>(block)), modules);
+  placement_into_current(block, modules);
   for (std::uint32_t j = 0; j < config_.d; ++j) {
-    if (hooks_->module_dead(modules[j])) {
+    if (hooks_->module_dead(modules[j], steps_)) {
       ++*erased;
       continue;
     }
@@ -55,7 +70,7 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
     }
     pram::Word value = share_at(block, j);
     pram::Word stuck = 0;
-    if (hooks_->stuck_at(block, j, stuck)) {
+    if (hooks_->stuck_at(block, j, steps_, stuck)) {
       // A stuck share is indistinguishable from a healthy one: it joins
       // the interpolation and silently poisons the whole block (IDA
       // corrects erasures, not errors).
@@ -104,14 +119,14 @@ void IdaMemory::encode_block(std::uint64_t block,
   }
   ++store_ops_;
   std::vector<ModuleId> modules(config_.d);
-  placement_.copies_into(VarId(static_cast<std::uint32_t>(block)), modules);
+  placement_into_current(block, modules);
   for (std::uint32_t j = 0; j < config_.d; ++j) {
-    if (hooks_->module_dead(modules[j])) {
+    if (hooks_->module_dead(modules[j], steps_)) {
       ++reliability_.writes_dropped;
       continue;
     }
     pram::Word word = encoded[j];
-    if (hooks_->corrupt_write(block, j, store_ops_, word)) {
+    if (hooks_->corrupt_write(block, j, store_ops_, steps_, word)) {
       ++reliability_.corrupt_stores;
     }
     row[j] = word;
@@ -122,6 +137,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
                                   std::span<pram::Word> read_values,
                                   std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
+  ++steps_;
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
   failed_blocks_.clear();
@@ -143,7 +159,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   std::vector<std::uint32_t> module_load(config_.n_modules, 0);
   std::vector<ModuleId> copy_buf(config_.d);
   auto charge_read_block = [&](std::uint64_t blk) {
-    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)), copy_buf);
+    placement_into_current(blk, copy_buf);
     // Pick the b least-loaded modules among the d holding shares — the
     // d-b slack is what lets the scheme dodge congestion.
     std::vector<std::uint32_t> order(config_.d);
@@ -160,7 +176,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
     vars_processed_ += config_.b;
   };
   auto charge_write_block = [&](std::uint64_t blk) {
-    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)), copy_buf);
+    placement_into_current(blk, copy_buf);
     for (std::uint32_t j = 0; j < config_.d; ++j) {
       ++module_load[copy_buf[j].index()];
     }
@@ -235,6 +251,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
     return pram::MemorySystem::serve(plan, read_values);
   }
   PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
+  ++steps_;
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
   failed_blocks_.clear();
@@ -279,8 +296,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
     phase_max = std::max(phase_max, module_load_[module]);
   };
   auto charge_read_block = [&](std::uint64_t blk) {
-    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)),
-                           copy_scratch_);
+    placement_into_current(blk, copy_scratch_);
     // Pick the b least-loaded modules among the d holding shares — the
     // d-b slack is what lets the scheme dodge congestion. Sorting by
     // (load, share index) reproduces the stable least-loaded order.
@@ -302,8 +318,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
     vars_processed_ += config_.b;
   };
   auto charge_write_block = [&](std::uint64_t blk) {
-    placement_.copies_into(VarId(static_cast<std::uint32_t>(blk)),
-                           copy_scratch_);
+    placement_into_current(blk, copy_scratch_);
     for (std::uint32_t j = 0; j < config_.d; ++j) {
       bump(static_cast<std::uint32_t>(copy_scratch_[j].index()));
     }
@@ -421,6 +436,78 @@ void IdaMemory::poke(VarId var, pram::Word value) {
   auto vals = decode_block(blk);
   vals[var.index() % config_.b] = value;
   encode_block(blk, vals);
+}
+
+pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
+  pram::ScrubResult result;
+  if (hooks_ == nullptr || budget == 0) {
+    return result;
+  }
+  std::vector<ModuleId> modules(config_.d);
+  for (std::uint64_t n = 0; n < budget && n < n_blocks_; ++n) {
+    const std::uint64_t block = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + 1) % n_blocks_;
+    ++result.scanned;
+    placement_into_current(block, modules);
+    std::uint32_t dead_shares = 0;
+    for (std::uint32_t j = 0; j < config_.d; ++j) {
+      dead_shares += hooks_->module_dead(modules[j], steps_) ? 1 : 0;
+    }
+    if (dead_shares == 0) {
+      continue;  // full share set alive: nothing to re-disperse
+    }
+    auto relocate_dead = [&]() {
+      std::uint32_t relocated = 0;
+      for (std::uint32_t j = 0; j < config_.d; ++j) {
+        if (!hooks_->module_dead(modules[j], steps_)) {
+          continue;
+        }
+        ModuleId replacement;
+        if (pram::pick_healthy_module(*hooks_, steps_, config_.n_modules,
+                                      config_.seed, block, j, modules,
+                                      replacement)) {
+          relocated_[block * config_.d + j] = replacement;
+          modules[j] = replacement;
+          ++relocated;
+        }
+      }
+      result.relocated += relocated;
+      reliability_.units_relocated += relocated;
+      return relocated;
+    };
+    if (shares_.find(block) == shares_.end()) {
+      // Untouched block: every share at index j still reads the shared
+      // zero encoding zero_shares_[j], which relocation preserves — so
+      // re-homing the dead shares restores full redundancy without
+      // materializing the row (the sparse store stays sparse).
+      if (relocate_dead() > 0) {
+        ++result.repaired;
+        ++reliability_.units_repaired;
+      }
+      continue;
+    }
+    std::uint32_t erased = 0;
+    std::uint32_t faulty = 0;
+    bool ok = true;
+    // Reconstruct OUTSIDE the read path: recover_block counts nothing
+    // into the read telemetry, so scrubbing never inflates masked rates.
+    const auto vals = recover_block(block, &erased, &faulty, &ok);
+    result.work += config_.b;
+    if (!ok) {
+      continue;  // below threshold: the block is lost, not repairable
+    }
+    relocate_dead();
+    // Re-disperse the reconstructed block onto the repaired placement
+    // (a stuck share that silently joined the interpolation re-disperses
+    // its poison — IDA scrubbing repairs erasures, not errors). Shares
+    // that sat on dead modules hold stale words, so the rewrite is
+    // needed even when every share was re-homed.
+    encode_block(block, vals);
+    result.work += config_.d;
+    ++result.repaired;
+    ++reliability_.units_repaired;
+  }
+  return result;
 }
 
 double IdaMemory::work_amplification() const {

@@ -82,6 +82,15 @@ class IdaMemory final : public pram::MemorySystem {
     hooks_ = hooks;
     return true;
   }
+
+  /// Native scrub: walk the block space from a persistent cursor; every
+  /// block with shares on dead modules that is still reconstructible
+  /// (>= b survivors) is decoded, its lost shares RELOCATED to
+  /// deterministically-chosen healthy modules, and the block re-dispersed
+  /// onto the repaired placement. One budget unit = one block scanned.
+  /// Blocks below threshold stay lost (nothing to re-disperse from); a
+  /// pass over a healthy block writes nothing.
+  pram::ScrubResult scrub(std::uint64_t budget) override;
   [[nodiscard]] pram::ReliabilityStats reliability() const override {
     return reliability_;
   }
@@ -126,6 +135,10 @@ class IdaMemory final : public pram::MemorySystem {
                                                       std::uint32_t* faulty,
                                                       bool* ok) const;
   void encode_block(std::uint64_t block, std::span<const pram::Word> values);
+  /// The block's CURRENT share placement: the hashed placement with
+  /// scrub relocations applied on top.
+  void placement_into_current(std::uint64_t block,
+                              std::span<ModuleId> out) const;
 
   std::uint64_t m_vars_;
   IdaMemoryConfig config_;
@@ -141,6 +154,11 @@ class IdaMemory final : public pram::MemorySystem {
   std::uint64_t vars_accessed_ = 0;
   std::uint64_t vars_processed_ = 0;
   std::uint64_t store_ops_ = 0;  ///< encode counter (corruption stamp)
+  std::uint64_t steps_ = 0;      ///< P-RAM step counter (fault clock)
+  /// Scrub relocation overlay: (block * d + share) -> replacement module
+  /// for shares moved off dead modules. Lookup-only.
+  std::unordered_map<std::uint64_t, ModuleId> relocated_;
+  std::uint64_t scrub_cursor_ = 0;  ///< next block a scrub pass scans
   const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
   pram::ReliabilityStats reliability_;
   /// Blocks whose last decode fell below threshold (reset per step).

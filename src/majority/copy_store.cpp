@@ -37,19 +37,20 @@ void CopyStore::corrupt(VarId var, std::uint32_t copy,
 
 CopyStore::VoteOutcome CopyStore::vote(VarId var,
                                        std::span<const ModuleId> modules,
+                                       std::uint64_t step,
                                        const pram::FaultHooks& hooks) const {
   PRAMSIM_ASSERT(modules.size() == r_);
   VoteOutcome outcome;
   // r <= 64 candidates: count multiplicities quadratically, no allocation.
   Copy ballots[64];
   for (std::uint32_t i = 0; i < r_; ++i) {
-    if (hooks.module_dead(modules[i])) {
+    if (hooks.module_dead(modules[i], step)) {
       ++outcome.erased;
       continue;
     }
     Copy ballot = at(var, i);
     pram::Word stuck = 0;
-    if (hooks.stuck_at(var.index(), i, stuck)) {
+    if (hooks.stuck_at(var.index(), i, step, stuck)) {
       ballot.value = stuck;  // the stamp it claims is whatever was stored
     }
     ballots[outcome.survivors++] = ballot;
@@ -84,17 +85,18 @@ CopyStore::VoteOutcome CopyStore::vote(VarId var,
 std::uint32_t CopyStore::store_all(VarId var,
                                    std::span<const ModuleId> modules,
                                    pram::Word value, std::uint64_t stamp,
+                                   std::uint64_t reroll, std::uint64_t step,
                                    const pram::FaultHooks& hooks,
                                    std::uint64_t& corrupt_stores) {
   PRAMSIM_ASSERT(modules.size() == r_);
   std::uint32_t dropped = 0;
   for (std::uint32_t i = 0; i < r_; ++i) {
-    if (hooks.module_dead(modules[i])) {
+    if (hooks.module_dead(modules[i], step)) {
       ++dropped;
       continue;
     }
     pram::Word committed = value;
-    if (hooks.corrupt_write(var.index(), i, stamp, committed)) {
+    if (hooks.corrupt_write(var.index(), i, reroll, step, committed)) {
       ++corrupt_stores;
     }
     write(var, i, committed, stamp);

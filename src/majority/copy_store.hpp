@@ -38,6 +38,12 @@ class CopyStore {
   [[nodiscard]] std::uint32_t redundancy() const { return r_; }
   /// Variables with at least one written copy (live-set accounting).
   [[nodiscard]] std::uint64_t touched_vars() const { return copies_.size(); }
+  /// True when `var` has a materialized row (>= 1 copy ever written).
+  /// Untouched variables read as the initial {0, 0} copy everywhere, so
+  /// repair passes can restore their redundancy by relocation alone.
+  [[nodiscard]] bool touched(VarId var) const {
+    return copies_.find(var.index()) != copies_.end();
+  }
 
   [[nodiscard]] const Copy& at(VarId var, std::uint32_t copy) const {
     PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
@@ -78,9 +84,9 @@ class CopyStore {
   };
 
   /// Majority vote over all r copies of `var` under fault injection:
-  /// copies on dead modules are erasures; stuck-at copies vote their
-  /// stuck value. The winner is the (value, stamp) pair with the largest
-  /// multiplicity (ties: fresher stamp, then smaller value — both
+  /// copies on modules dead by `step` are erasures; stuck-at copies vote
+  /// their stuck value. The winner is the (value, stamp) pair with the
+  /// largest multiplicity (ties: fresher stamp, then smaller value — both
   /// deterministic). `modules` is the variable's copy placement (size r).
   /// With write-through stores (store_all) every healthy copy agrees, so
   /// the vote recovers the committed value as long as healthy copies
@@ -88,14 +94,20 @@ class CopyStore {
   /// floor((r-1)/2) arbitrary bad copies with no erasures.
   [[nodiscard]] VoteOutcome vote(VarId var,
                                  std::span<const ModuleId> modules,
+                                 std::uint64_t step,
                                  const pram::FaultHooks& hooks) const;
 
   /// Degraded-mode write-through: store (value, stamp) into every copy of
-  /// `var` whose module is alive, letting `hooks` corrupt individual
-  /// stores. Returns the number of copies lost to dead modules; the count
-  /// of silently corrupted stores is added to `corrupt_stores`.
+  /// `var` whose module is alive at `step` (the caller's P-RAM step
+  /// clock), letting `hooks` corrupt individual stores. `reroll` is the
+  /// corruption re-roll key passed to corrupt_write — protocol writes use
+  /// the stamp itself; scrub repair passes use a dedicated counter so a
+  /// repair never replays the corruption roll of a same-step write.
+  /// Returns the number of copies lost to dead modules; the count of
+  /// silently corrupted stores is added to `corrupt_stores`.
   std::uint32_t store_all(VarId var, std::span<const ModuleId> modules,
                           pram::Word value, std::uint64_t stamp,
+                          std::uint64_t reroll, std::uint64_t step,
                           const pram::FaultHooks& hooks,
                           std::uint64_t& corrupt_stores);
 

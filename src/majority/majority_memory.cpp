@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace pramsim::majority {
 
@@ -16,12 +17,33 @@ MajorityMemory::MajorityMemory(std::unique_ptr<AccessEngine> engine)
   PRAMSIM_ASSERT(engine_ != nullptr);
   PRAMSIM_ASSERT_MSG(engine_->map().redundancy() % 2 == 1,
                      "majority rule requires odd r = 2c-1");
+  // Fingerprint the map's placement of variable 0 as the relocation-probe
+  // salt: a pure function of the map (so replays match) that still varies
+  // with the map seed (so instances don't all relocate identically).
+  for (const auto module : engine_->map().copies(VarId(0))) {
+    map_salt_ = map_salt_ * 0x100000001B3ULL + module.index() + 1;
+  }
 }
 
 MajorityMemory::MajorityMemory(std::shared_ptr<const memmap::MemoryMap> map,
                                SchedulerConfig scheduler)
     : MajorityMemory(
           std::make_unique<DmmpcEngine>(std::move(map), scheduler)) {}
+
+void MajorityMemory::copies_into_current(VarId var,
+                                         std::span<ModuleId> out) const {
+  engine_->map().copies_into(var, out);
+  if (relocated_.empty()) {
+    return;
+  }
+  const std::uint32_t r = engine_->map().redundancy();
+  for (std::uint32_t copy = 0; copy < r; ++copy) {
+    const auto it = relocated_.find(var.index() * r + copy);
+    if (it != relocated_.end()) {
+      out[copy] = it->second;
+    }
+  }
+}
 
 std::uint64_t MajorityMemory::degraded_serve(
     std::span<const VarId> reads, std::span<pram::Word> read_values,
@@ -34,8 +56,8 @@ std::uint64_t MajorityMemory::degraded_serve(
   std::vector<ModuleId> modules(r);
   flagged_reads_.assign(reads.size(), false);
   for (std::size_t i = 0; i < reads.size(); ++i) {
-    engine_->map().copies_into(reads[i], modules);
-    const auto outcome = store_.vote(reads[i], modules, *hooks_);
+    copies_into_current(reads[i], modules);
+    const auto outcome = store_.vote(reads[i], modules, stamp_, *hooks_);
     read_values[i] = outcome.winner.value;
     ++reliability_.reads_served;
     reliability_.erasures_skipped += outcome.erased;
@@ -49,10 +71,11 @@ std::uint64_t MajorityMemory::degraded_serve(
     }
   }
   for (std::size_t i = 0; i < writes.size(); ++i) {
-    engine_->map().copies_into(writes[i].var, modules);
+    copies_into_current(writes[i].var, modules);
     reliability_.writes_dropped +=
         store_.store_all(writes[i].var, modules, writes[i].value, stamp_,
-                         *hooks_, reliability_.corrupt_stores);
+                         stamp_, stamp_, *hooks_,
+                         reliability_.corrupt_stores);
     fault_work += r;
   }
   return fault_work;
@@ -178,10 +201,11 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
 
 pram::Word MajorityMemory::peek(VarId var) const {
   if (hooks_ != nullptr) {
-    // A fault-aware verifier reads the way the degraded protocol does.
+    // A fault-aware verifier reads the way the degraded protocol does,
+    // at the current step of the fault clock.
     std::vector<ModuleId> modules(engine_->map().redundancy());
-    engine_->map().copies_into(var, modules);
-    return store_.vote(var, modules, *hooks_).winner.value;
+    copies_into_current(var, modules);
+    return store_.vote(var, modules, stamp_, *hooks_).winner.value;
   }
   return store_.ground_truth(var).value;
 }
@@ -189,18 +213,114 @@ pram::Word MajorityMemory::peek(VarId var) const {
 void MajorityMemory::poke(VarId var, pram::Word value) {
   // Out-of-band initialization: set every copy so the poke is the ground
   // truth regardless of which copies later reads access. Under fault
-  // injection, initialization is subject to the same static faults as
-  // any other store (dead modules never learn the value).
+  // injection, initialization is subject to the same faults as any other
+  // store (modules dead at the current step never learn the value).
   if (hooks_ != nullptr) {
     std::vector<ModuleId> modules(engine_->map().redundancy());
-    engine_->map().copies_into(var, modules);
-    reliability_.writes_dropped += store_.store_all(
-        var, modules, value, stamp_, *hooks_, reliability_.corrupt_stores);
+    copies_into_current(var, modules);
+    reliability_.writes_dropped +=
+        store_.store_all(var, modules, value, stamp_, stamp_, stamp_,
+                         *hooks_, reliability_.corrupt_stores);
     return;
   }
   for (std::uint32_t copy = 0; copy < engine_->map().redundancy(); ++copy) {
     store_.write(var, copy, value, stamp_);
   }
+}
+
+pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
+  pram::ScrubResult result;
+  if (hooks_ == nullptr || budget == 0) {
+    return result;
+  }
+  const std::uint32_t r = engine_->map().redundancy();
+  const std::uint64_t m = engine_->map().num_vars();
+  std::vector<ModuleId> modules(r);
+  for (std::uint64_t n = 0; n < budget && n < m; ++n) {
+    const VarId var(static_cast<std::uint32_t>(scrub_cursor_));
+    scrub_cursor_ = (scrub_cursor_ + 1) % m;
+    ++result.scanned;
+    copies_into_current(var, modules);
+    const auto outcome = store_.vote(var, modules, stamp_, *hooks_);
+    result.work += outcome.survivors;
+    if (outcome.survivors == 0 ||
+        (outcome.erased == 0 && outcome.dissenting == 0)) {
+      // Fully healthy (nothing to do) or fully lost (nothing to rebuild
+      // from — the data is gone until the next write recreates it).
+      continue;
+    }
+    // A re-store only helps when some live, NON-stuck copy disagrees
+    // with the winner (stale or corrupted storage): stuck copies read
+    // their stuck value no matter what is written, so a pass whose only
+    // dissent is stuck-at must not rewrite the variable forever.
+    bool store_helps = false;
+    if (!store_.touched(var)) {
+      // Untouched row: every real copy is the initial {0, 0} == the
+      // winner, so relocation alone restores full redundancy and the
+      // sparse store stays sparse.
+    } else if (outcome.erased > 0) {
+      // Copies on dead modules missed write-through while dead: after
+      // relocation their stored words are stale and must be re-stamped.
+      store_helps = true;
+    } else {
+      for (std::uint32_t copy = 0; copy < r && !store_helps; ++copy) {
+        if (hooks_->module_dead(modules[copy], stamp_)) {
+          continue;
+        }
+        pram::Word stuck = 0;
+        if (hooks_->stuck_at(var.index(), copy, stamp_, stuck)) {
+          continue;
+        }
+        const Copy& held = store_.at(var, copy);
+        store_helps = held.value != outcome.winner.value ||
+                      held.stamp != outcome.winner.stamp;
+      }
+    }
+    if (outcome.erased == 0 && !store_helps) {
+      continue;  // steady state: only unfixable (stuck) dissent remains
+    }
+    // Re-home the copies sitting on dead modules; copies whose relocated
+    // module later died are re-homed again.
+    std::uint32_t relocated = 0;
+    for (std::uint32_t copy = 0; copy < r; ++copy) {
+      if (!hooks_->module_dead(modules[copy], stamp_)) {
+        continue;
+      }
+      ModuleId replacement;
+      if (pram::pick_healthy_module(*hooks_, stamp_,
+                                    engine_->map().num_modules(), map_salt_,
+                                    var.index(), copy, modules,
+                                    replacement)) {
+        relocated_[var.index() * r + copy] = replacement;
+        modules[copy] = replacement;
+        ++relocated;
+      }
+    }
+    result.relocated += relocated;
+    reliability_.units_relocated += relocated;
+    if (!store_.touched(var)) {
+      // Relocation-only repair: the initial copies already agree with
+      // the winner, so writing them would just densify the store.
+      if (relocated > 0) {
+        ++result.repaired;
+        ++reliability_.units_repaired;
+      }
+      continue;
+    }
+    // Re-stamp the vote winner onto every live copy at the current step
+    // (strictly fresher than any committed write, so the repair wins
+    // future freshness ties). The corruption re-roll uses a dedicated
+    // counter: a store that corrupted at its protocol stamp rolls fresh
+    // here instead of deterministically re-corrupting.
+    const std::uint64_t reroll = (1ULL << 63) | scrub_stores_++;
+    const std::uint32_t dropped =
+        store_.store_all(var, modules, outcome.winner.value, stamp_, reroll,
+                         stamp_, *hooks_, reliability_.corrupt_stores);
+    result.work += r - dropped;
+    ++result.repaired;
+    ++reliability_.units_repaired;
+  }
+  return result;
 }
 
 }  // namespace pramsim::majority

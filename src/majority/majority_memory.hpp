@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "majority/copy_store.hpp"
@@ -63,11 +64,20 @@ class MajorityMemory final : public pram::MemorySystem {
   /// surviving copy and reads majority-vote over all survivors (the
   /// engine still prices the step; the extra copy traffic shows up as
   /// work). With hooks installed, peek() also votes, so verification
-  /// observes what a fault-aware reader would.
+  /// observes what a fault-aware reader would. Fault queries are stamped
+  /// with the current step, so dynamic onsets land mid-run.
   bool set_fault_hooks(const pram::FaultHooks* hooks) override {
     hooks_ = hooks;
     return true;
   }
+
+  /// Native scrub: walk the address space from a persistent cursor, and
+  /// for every variable whose copy set is degraded at the current step
+  /// (erased or dissenting copies), RELOCATE the copies sitting on dead
+  /// modules to deterministically-chosen healthy ones and re-stamp the
+  /// vote winner onto every live copy. One budget unit = one variable
+  /// scanned. A pass over a healthy variable writes nothing.
+  pram::ScrubResult scrub(std::uint64_t budget) override;
   [[nodiscard]] pram::ReliabilityStats reliability() const override {
     return reliability_;
   }
@@ -99,6 +109,10 @@ class MajorityMemory final : public pram::MemorySystem {
   std::uint64_t degraded_serve(std::span<const VarId> reads,
                                std::span<pram::Word> read_values,
                                std::span<const pram::VarWrite> writes);
+  /// The variable's CURRENT copy placement: the map's assignment with
+  /// scrub relocations applied on top. Identical to the map until the
+  /// first relocation.
+  void copies_into_current(VarId var, std::span<ModuleId> out) const;
 
   std::unique_ptr<AccessEngine> engine_;
   CopyStore store_;
@@ -113,6 +127,17 @@ class MajorityMemory final : public pram::MemorySystem {
   const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
   pram::ReliabilityStats reliability_;
   std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
+  /// Scrub relocation overlay: (var * r + copy) -> replacement module for
+  /// copies moved off dead modules. Lookup-only (order never observed).
+  std::unordered_map<std::uint64_t, ModuleId> relocated_;
+  std::uint64_t scrub_cursor_ = 0;  ///< next variable a scrub pass scans
+  /// Corruption re-roll counter for repair stores (distinct from the
+  /// step-stamp namespace, so a repair never replays the corruption roll
+  /// of a same-step protocol write).
+  std::uint64_t scrub_stores_ = 0;
+  /// Relocation-probe salt derived from the map's actual placement, so
+  /// two instances with different map seeds relocate differently.
+  std::uint64_t map_salt_ = 0;
 };
 
 }  // namespace pramsim::majority

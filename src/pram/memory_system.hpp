@@ -36,6 +36,22 @@ struct MemStepCost {
   std::uint64_t max_queue = 0;
 };
 
+/// Outcome of one background scrub pass (MemorySystem::scrub): how much
+/// of the budget was spent and what it bought.
+struct ScrubResult {
+  std::uint64_t scanned = 0;    ///< storage entities examined
+  std::uint64_t repaired = 0;   ///< entities re-replicated / re-dispersed
+  std::uint64_t relocated = 0;  ///< copies/shares moved off dead modules
+  std::uint64_t work = 0;       ///< copy/share accesses the pass performed
+
+  void merge(const ScrubResult& other) {
+    scanned += other.scanned;
+    repaired += other.repaired;
+    relocated += other.relocated;
+    work += other.work;
+  }
+};
+
 /// Interface all shared-memory organizations implement.
 ///
 /// Semantics contract (matching the P-RAM step semantics): all reads
@@ -122,11 +138,26 @@ class MemorySystem {
   /// scheme applies the hooks itself at its replica/share granularity
   /// (divergent copies, missing shares); false when it cannot, in which
   /// case a wrapper (faults::FaultableMemory) degrades it externally.
-  /// Passing nullptr clears a previous installation. Static faults only:
-  /// install before serving traffic, never between steps.
+  /// Passing nullptr clears a previous installation. Install before
+  /// serving traffic, never between steps: faults whose onset should be
+  /// mid-run carry a dynamic onset step inside the hooks (pram::FaultHooks
+  /// queries are step-stamped), the installation itself stays static.
   virtual bool set_fault_hooks(const FaultHooks* hooks) {
     (void)hooks;
     return false;
+  }
+
+  /// Background repair pass: spend up to `budget` units of scrub work
+  /// (one unit ~ one storage entity examined) re-replicating copies /
+  /// re-dispersing shares that faults have degraded, relocating storage
+  /// off dead modules where the organization supports it. Called by the
+  /// driver BETWEEN steps (never concurrently with serve()/step()); a
+  /// pass must be a state no-op whenever nothing is degraded, so scrub
+  /// under fault rate 0 leaves every subsequent read bit-identical.
+  /// Default: nothing to rebuild (single-copy and wrapper organizations).
+  virtual ScrubResult scrub(std::uint64_t budget) {
+    (void)budget;
+    return {};
   }
 
   /// Reliability telemetry accumulated while serving under fault hooks

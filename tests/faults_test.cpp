@@ -34,22 +34,26 @@ class CraftedHooks final : public pram::FaultHooks {
   std::unordered_set<std::uint64_t> stuck;  ///< entity * 64 + copy
   pram::Word stuck_value = 999;
 
-  [[nodiscard]] bool module_dead(ModuleId module) const override {
-    return dead.count(module.index()) != 0;
+  [[nodiscard]] bool module_dead(ModuleId module,
+                                 std::uint64_t step) const override {
+    return step >= onset && dead.count(module.index()) != 0;
   }
   [[nodiscard]] bool stuck_at(std::uint64_t entity, std::uint32_t copy,
+                              std::uint64_t step,
                               pram::Word& value) const override {
-    if (stuck.count(entity * 64 + copy) == 0) {
+    if (step < onset || stuck.count(entity * 64 + copy) == 0) {
       return false;
     }
     value = stuck_value;
     return true;
   }
   [[nodiscard]] bool corrupt_write(std::uint64_t, std::uint32_t,
-                                   std::uint64_t,
+                                   std::uint64_t, std::uint64_t,
                                    pram::Word&) const override {
     return false;
   }
+  /// Faults activate from this step on (0 = static, always active).
+  std::uint64_t onset = 0;
 };
 
 pram::Word read_one(pram::MemorySystem& memory, VarId var) {
@@ -77,18 +81,20 @@ TEST(FaultModel, SameSeedSameFaultSet) {
   EXPECT_EQ(a.dead_module_count(), b.dead_module_count());
   EXPECT_GE(a.dead_module_count(), 5u);
   for (std::uint32_t module = 0; module < 64; ++module) {
-    EXPECT_EQ(a.module_dead(ModuleId(module)), b.module_dead(ModuleId(module)));
+    EXPECT_EQ(a.module_dead(ModuleId(module), 0),
+              b.module_dead(ModuleId(module), 0));
   }
   for (std::uint64_t entity = 0; entity < 200; ++entity) {
     for (std::uint32_t copy = 0; copy < 4; ++copy) {
       pram::Word va = 0;
       pram::Word vb = 0;
-      ASSERT_EQ(a.stuck_at(entity, copy, va), b.stuck_at(entity, copy, vb));
+      ASSERT_EQ(a.stuck_at(entity, copy, 0, va),
+                b.stuck_at(entity, copy, 0, vb));
       ASSERT_EQ(va, vb);
       pram::Word wa = 7;
       pram::Word wb = 7;
-      ASSERT_EQ(a.corrupt_write(entity, copy, 3, wa),
-                b.corrupt_write(entity, copy, 3, wb));
+      ASSERT_EQ(a.corrupt_write(entity, copy, 3, 0, wa),
+                b.corrupt_write(entity, copy, 3, 0, wb));
       ASSERT_EQ(wa, wb);
     }
   }
@@ -101,8 +107,8 @@ TEST(FaultModel, DifferentSeedsDiverge) {
   const faults::FaultModel b(b_spec, 256);
   std::uint32_t differing = 0;
   for (std::uint32_t module = 0; module < 256; ++module) {
-    differing +=
-        a.module_dead(ModuleId(module)) != b.module_dead(ModuleId(module));
+    differing += a.module_dead(ModuleId(module), 0) !=
+                 b.module_dead(ModuleId(module), 0);
   }
   EXPECT_GT(differing, 0u);
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fail on dead RELATIVE links in the documentation tree.
+
+Scans README.md and docs/*.md for markdown links/images. External links
+(http/https/mailto) are ignored; every relative target must exist on
+disk, resolved against the file containing the link (anchors are
+stripped; a bare '#fragment' link is checked against its own file's
+headings only for existence of the file, not the heading).
+
+Usage: python3 tools/check_links.py [repo_root]
+Exit status: 0 = all relative links resolve, 1 = at least one is dead.
+"""
+import os
+import re
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target); stops at the first ')' not preceded
+# by a matching '(' — good enough for the plain targets used here.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def doc_files(root: Path):
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    dead = []
+    checked = 0
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue  # same-file anchor
+            resolved = (doc.parent / path_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                dead.append(f"{doc.relative_to(root)}: dead link -> {target}")
+    for line in dead:
+        print(f"ERROR: {line}", file=sys.stderr)
+    print(f"checked {checked} relative link(s) in "
+          f"{len(list(doc_files(root)))} file(s); {len(dead)} dead")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
