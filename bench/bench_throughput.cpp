@@ -17,7 +17,9 @@
 #include "core/driver.hpp"
 #include "core/plan_builder.hpp"
 #include "core/schemes.hpp"
+#include "pram/serve_context.hpp"
 #include "pram/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -105,13 +107,64 @@ Throughput measure(const core::SchemeSpec& spec,
   return out;
 }
 
+/// Serve-path throughput of one backend at a pinned executor worker
+/// count (0 = the hardware-aware automatic policy), through the v2
+/// context entry over prebuilt plans. The worker override steers
+/// Executor::plan_workers; ">1 workers" really fans chunks across the
+/// parked pool even when the host has fewer cores than that (the forced
+/// columns chart dispatch overhead; the auto column is what the
+/// pipeline actually runs). Caveat for reading the w1 column: MvMemory
+/// takes the group loop at any worker count, but MajorityMemory falls
+/// back to its plain value loops when only one chunk would run — so for
+/// kDmmpc, w1-vs-w2 differences mix group-indirection cost with
+/// dispatch cost; only the kHashed rows isolate dispatch overhead.
+double measure_backend(const core::SchemeSpec& spec,
+                       const std::vector<pram::AccessBatch>& trace,
+                       std::size_t workers, double budget_sec) {
+  auto memory = core::make_memory(spec);
+  std::vector<std::unique_ptr<core::PlanBuilder>> builders;
+  std::vector<const pram::AccessPlan*> plans;
+  builders.reserve(trace.size());
+  plans.reserve(trace.size());
+  for (const auto& batch : trace) {
+    builders.push_back(std::make_unique<core::PlanBuilder>());
+    plans.push_back(&builders.back()->build(batch, *memory));
+  }
+
+  util::Executor executor;
+  pram::ServeContext ctx({}, &executor);
+  std::vector<pram::Word> values;
+  util::set_parallel_workers_override(workers);
+  for (const auto* plan : plans) {  // warm-up pass
+    values.resize(plan->reads.size());
+    ctx.bind(values);
+    memory->serve(*plan, ctx);
+  }
+  std::size_t steps = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    for (const auto* plan : plans) {
+      values.resize(plan->reads.size());
+      ctx.bind(values);
+      memory->serve(*plan, ctx);
+    }
+    steps += plans.size();
+    elapsed = seconds_since(start);
+  } while (elapsed < budget_sec);
+  util::set_parallel_workers_override(0);
+  return static_cast<double>(steps) / elapsed;
+}
+
 }  // namespace
 
 int main() {
   bench::Reporter reporter(
       "throughput", "serve-path throughput (plan vs legacy step adapter)",
       "the arena-backed plan path serves >= 2x steps/sec over the legacy "
-      "per-step-container path on kDmmpc and kHashed at n >= 2^12");
+      "per-step-container path on kDmmpc and kHashed at n >= 2^12, and "
+      "the kGroupParallel backend serves >= 1.3x the serial backend on "
+      "kDmmpc or kHashed at n = 2^12 (auto worker policy)");
 
   {
     util::Table table({"scheme", "n", "m", "steps/s legacy", "steps/s plan",
@@ -144,6 +197,49 @@ int main() {
                      static_cast<std::int64_t>(instance.m),
                      t.legacy_steps_per_sec, t.plan_steps_per_sec,
                      t.plan_steps_per_sec / t.legacy_steps_per_sec});
+      std::fflush(stdout);
+    }
+    reporter.table(table, 1);
+  }
+
+  {
+    // The parallel-serve trajectory: serial backend vs kGroupParallel at
+    // 1/2/4 executor workers, same prebuilt plans, same context entry.
+    // Group-parallel wins twice — the precomputed groups replace the
+    // per-request placement hashing in the load loop, and the value
+    // phase fans across the parked worker pool.
+    util::Table table({"scheme", "n", "steps/s serial", "steps/s gp",
+                       "gp / serial", "steps/s gp w1", "steps/s gp w2",
+                       "steps/s gp w4"});
+    table.set_title("group-parallel serve backend (plan module groups "
+                    "fanned across ServeContext executor workers; 'gp' = "
+                    "hardware-aware auto policy, wN = forced N workers)");
+    struct Config {
+      core::SchemeKind kind;
+      std::uint32_t n;
+      double budget;
+    };
+    const std::vector<Config> configs = {
+        {core::SchemeKind::kDmmpc, 256, 0.2},
+        {core::SchemeKind::kHashed, 256, 0.2},
+        {core::SchemeKind::kDmmpc, 4096, 0.4},
+        {core::SchemeKind::kHashed, 4096, 0.4},
+    };
+    for (const auto& config : configs) {
+      core::SchemeSpec spec{.kind = config.kind, .n = config.n, .seed = 3};
+      const auto instance = core::make_scheme(spec);
+      const std::size_t steps = config.n >= 4096 ? 8 : 16;
+      const auto trace = make_bench_trace(config.n, instance.m, steps);
+      const double serial =
+          measure_backend(spec, trace, 0, config.budget);
+      spec.backend = pram::ServeBackend::kGroupParallel;
+      const double gp_auto = measure_backend(spec, trace, 0, config.budget);
+      const double gp1 = measure_backend(spec, trace, 1, config.budget);
+      const double gp2 = measure_backend(spec, trace, 2, config.budget);
+      const double gp4 = measure_backend(spec, trace, 4, config.budget);
+      table.add_row({core::to_string(config.kind),
+                     static_cast<std::int64_t>(config.n), serial, gp_auto,
+                     gp_auto / serial, gp1, gp2, gp4});
       std::fflush(stdout);
     }
     reporter.table(table, 1);

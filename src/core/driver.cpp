@@ -9,6 +9,7 @@
 
 #include "faults/faultable_memory.hpp"
 #include "memmap/expansion.hpp"
+#include "pram/serve_context.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -69,16 +70,21 @@ struct ScrubCadence {
 TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
                                    std::span<const pram::AccessBatch> trace,
                                    bool double_buffer,
-                                   const ScrubCadence& scrub = {}) {
+                                   const ScrubCadence& scrub = {},
+                                   util::Executor* executor = nullptr) {
   TraceRunResult result;
   result.storage_factor = memory.storage_redundancy();
   std::vector<pram::Word> values;
+  // One context per run: rebound per step, executor attached when the
+  // shard level leaves workers free for intra-step (group) fan-out.
+  pram::ServeContext ctx({}, executor);
   if (!double_buffer || trace.size() < 4) {
     PlanBuilder builder;
     for (std::size_t i = 0; i < trace.size(); ++i) {
       const auto& plan = builder.build(trace[i], memory);
       values.resize(plan.reads.size());
-      record_step(result, memory.serve(plan, values));
+      ctx.bind(values);
+      record_step(result, memory.serve(plan, ctx));
       scrub.maybe_scrub(memory, i + 1, result);
     }
     return result;
@@ -110,7 +116,8 @@ TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
     }
     const pram::AccessPlan& plan = slots[i % 2].plan();
     values.resize(plan.reads.size());
-    record_step(result, memory.serve(plan, values));
+    ctx.bind(values);
+    record_step(result, memory.serve(plan, ctx));
     scrub.maybe_scrub(memory, i + 1, result);
     {
       const std::lock_guard lock(mutex);
@@ -135,7 +142,8 @@ SimulationPipeline::SimulationPipeline(SchemeSpec spec)
 pram::MemStepCost SimulationPipeline::run_batch(const pram::AccessBatch& batch) {
   const pram::AccessPlan& plan = builder_.build(batch, *instance_.memory);
   std::vector<pram::Word> values(plan.reads.size());
-  return instance_.memory->serve(plan, values);
+  pram::ServeContext ctx(values, &executor_);
+  return instance_.memory->serve(plan, ctx);
 }
 
 TraceRunResult SimulationPipeline::run_stress(
@@ -165,11 +173,14 @@ TraceRunResult SimulationPipeline::run_stress_impl(
   // the host's threads too.
   const std::size_t stages =
       families.size() + (options.include_map_adversarial ? 1 : 0);
-  // Overlap plan building with serving only when the shard level is not
-  // already saturating the host's cores — a generator thread per shard
-  // on top of a full parallel_for would just oversubscribe.
-  const bool double_buffer =
-      options.double_buffer && util::parallel_workers(trials * stages) == 1;
+  // Overlap plan building with serving — and hand shards an executor
+  // for intra-step group fan-out — only when the shard level is not
+  // already saturating the host's cores: a generator thread (or a group
+  // worker pool) per shard on top of a full parallel_for would just
+  // oversubscribe.
+  const bool shard_level_serial =
+      util::parallel_workers(trials * stages) == 1;
+  const bool double_buffer = options.double_buffer && shard_level_serial;
 
   std::vector<TraceRunResult> shards(trials * stages);
   util::parallel_for(0, trials * stages, [&](std::size_t s) {
@@ -188,6 +199,7 @@ TraceRunResult SimulationPipeline::run_stress_impl(
                                                          trial_faults);
     }
     util::Rng rng(options.seed + trial * 0x9E3779B97F4A7C15ULL);
+    util::Executor executor;
     TraceRunResult& shard = shards[s];
     if (stage < families.size()) {
       // Reach this family's stream: family f uses the (f+1)-th split of
@@ -201,7 +213,8 @@ TraceRunResult SimulationPipeline::run_stress_impl(
                                           family_rng);
       shard = run_trace_pipelined(
           *memory, trace, double_buffer,
-          ScrubCadence{options.scrub_interval, options.scrub_budget});
+          ScrubCadence{options.scrub_interval, options.scrub_budget},
+          shard_level_serial ? &executor : nullptr);
     } else {
       for (std::size_t f = 0; f < families.size(); ++f) {
         (void)rng.split();
@@ -218,6 +231,7 @@ TraceRunResult SimulationPipeline::run_stress_impl(
       const ScrubCadence scrub{options.scrub_interval, options.scrub_budget};
       PlanBuilder builder;
       std::vector<pram::Word> values;
+      pram::ServeContext ctx({}, shard_level_serial ? &executor : nullptr);
       for (std::size_t step = 0; step < options.steps_per_family; ++step) {
         const auto vars =
             map != nullptr ? memmap::adversarial_batch(*map, n, rng.next())
@@ -232,7 +246,8 @@ TraceRunResult SimulationPipeline::run_stress_impl(
         }
         const pram::AccessPlan& plan = builder.build(batch, *memory);
         values.resize(plan.reads.size());
-        record_step(shard, memory->serve(plan, values));
+        ctx.bind(values);
+        record_step(shard, memory->serve(plan, ctx));
         scrub.maybe_scrub(*memory, step + 1, shard);
       }
     }
@@ -299,12 +314,15 @@ RecoveryResult SimulationPipeline::run_recovery(
 
   PlanBuilder builder;
   std::vector<pram::Word> values;
+  util::Executor executor;
+  pram::ServeContext ctx({}, &executor);
   pram::ReliabilityStats prev;
   result.trajectory.reserve(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const pram::AccessPlan& plan = builder.build(trace[i], *memory);
     values.resize(plan.reads.size());
-    (void)memory->serve(plan, values);
+    ctx.bind(values);
+    (void)memory->serve(plan, ctx);
     // Scrub AFTER sampling? No: scrub between steps, then sample, so a
     // step's point reflects the reads it served and the repairs that
     // followed it — the next step is the first to benefit.

@@ -22,6 +22,7 @@
 #include "majority/engine.hpp"
 #include "pram/memory_system.hpp"
 #include "pram/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace pramsim::core {
@@ -240,6 +241,9 @@ class SimulationPipeline {
   SchemeInstance instance_;
   /// Plan slot for one-shot run_batch serving on the prototype.
   PlanBuilder builder_;
+  /// Group-fan-out workers for one-shot serving on the prototype (the
+  /// stress/recovery paths keep per-shard executors of their own).
+  util::Executor executor_;
 };
 
 }  // namespace pramsim::core

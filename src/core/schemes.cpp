@@ -305,7 +305,12 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
           inst.m, ida::IdaMemoryConfig{.b = block,
                                        .d = d,
                                        .n_modules = inst.n_modules,
-                                       .seed = spec.seed});
+                                       .seed = spec.seed,
+                                       .check_shares =
+                                           spec.ida_check_shares});
+      if (spec.ida_check_shares) {
+        inst.name += "+ck";  // share checksums: detection bought with 2x
+      }
       inst.model = "DMMPC";
       inst.guarantee = "deterministic; Theta(log n) work/access";
       inst.notes = "Schuster'87/Rabin'89";
@@ -326,6 +331,10 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
     }
   }
   inst.storage_factor = inst.memory->storage_redundancy();
+  // Backend selection is uniform: the memory downgrades a request its
+  // capabilities (or configuration) cannot honor, and the instance
+  // records what is actually in effect.
+  inst.backend = inst.memory->set_serve_backend(spec.backend);
   return inst;
 }
 

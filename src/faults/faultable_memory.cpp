@@ -26,19 +26,21 @@ ModuleId FaultableMemory::synthetic_module(VarId var) const {
 pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
                                         std::span<pram::Word> read_values,
                                         std::span<const pram::VarWrite> writes) {
-  ++steps_;
+  const std::uint64_t step = advance_step_clock();
   pram::MemStepCost cost;
   // Reads flagged as known-bad (dead module / under-threshold block)
   // this step: excluded from the silent-wrong count — a flagged loss is
-  // an outage, not a lie.
-  std::vector<bool> flagged(reads.size(), false);
+  // an outage, not a lie. Held in flagged_ so serve()-path callers can
+  // observe the wrapper's outage view via flagged_reads().
+  flagged_.assign(reads.size(), 0);
 
   if (inner_injects_) {
     cost = inner_->step(reads, read_values, writes);
-    const std::vector<bool>& inner_flags = inner_->flagged_reads();
+    const std::span<const std::uint8_t> inner_flags =
+        inner_->flagged_reads();
     for (std::size_t i = 0; i < reads.size() && i < inner_flags.size();
          ++i) {
-      flagged[i] = inner_flags[i];
+      flagged_[i] = inner_flags[i];
     }
   } else {
     // Wrapper-level degradation: drop writes whose synthetic module is
@@ -46,12 +48,12 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
     std::vector<pram::VarWrite> degraded;
     degraded.reserve(writes.size());
     for (const auto& write : writes) {
-      if (model_.module_dead(synthetic_module(write.var), steps_)) {
+      if (model_.module_dead(synthetic_module(write.var), step)) {
         ++wrapper_stats_.writes_dropped;
         continue;
       }
       pram::VarWrite w = write;
-      if (model_.corrupt_write(w.var.index(), 0, steps_, steps_, w.value)) {
+      if (model_.corrupt_write(w.var.index(), 0, step, step, w.value)) {
         ++wrapper_stats_.corrupt_stores;
       }
       degraded.push_back(w);
@@ -59,16 +61,16 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
     cost = inner_->step(reads, read_values, degraded);
     for (std::size_t i = 0; i < reads.size(); ++i) {
       ++wrapper_stats_.reads_served;
-      if (model_.module_dead(synthetic_module(reads[i]), steps_)) {
+      if (model_.module_dead(synthetic_module(reads[i]), step)) {
         read_values[i] = 0;
-        flagged[i] = true;
+        flagged_[i] = 1;
         ++wrapper_stats_.uncorrectable;
         ++wrapper_stats_.erasures_skipped;
         ++wrapper_stats_.units_faulty;
         continue;
       }
       pram::Word stuck = 0;
-      if (model_.stuck_at(reads[i].index(), 0, steps_, stuck)) {
+      if (model_.stuck_at(reads[i].index(), 0, step, stuck)) {
         read_values[i] = stuck;
         ++wrapper_stats_.units_faulty;
       }
@@ -80,7 +82,7 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
   // mismatch count — both injection regimes report exactly which reads
   // were served below threshold, so wrong_reads counts ONLY silent lies.
   for (std::size_t i = 0; i < reads.size(); ++i) {
-    if (flagged[i]) {
+    if (flagged_[i] != 0) {
       (void)checker_.check_read(reads[i], checker_.expected(reads[i]));
       continue;  // counted as checked-consistent: the loss was flagged
     }
@@ -95,13 +97,50 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
   return cost;
 }
 
+pram::MemStepCost FaultableMemory::serve(const pram::AccessPlan& plan,
+                                         pram::ServeContext& ctx) {
+  if (!inner_injects_) {
+    // Wrapper-level injection must observe every access: the default
+    // adapter funnels the plan through this wrapper's step() override.
+    return pram::MemorySystem::serve(plan, ctx);
+  }
+  advance_step_clock();
+  const pram::MemStepCost cost = inner_->serve(plan, ctx);
+
+  // Mirror the context's outage flags (the inner scheme's view) so
+  // step()-level callers of flagged_reads() see them here too.
+  const std::span<const std::uint8_t> flags = ctx.flags();
+  flagged_.assign(plan.reads.size(), 0);
+  for (std::size_t i = 0; i < plan.reads.size() && i < flags.size(); ++i) {
+    flagged_[i] = flags[i];
+  }
+
+  // Oracle pass, identical to step()'s: flagged losses are outages, not
+  // lies; everything else must match the trace-consistency expectation.
+  const std::span<pram::Word> read_values = ctx.read_values();
+  for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+    if (flagged_[i] != 0) {
+      (void)checker_.check_read(plan.reads[i],
+                                checker_.expected(plan.reads[i]));
+      continue;
+    }
+    if (!checker_.check_read(plan.reads[i], read_values[i])) {
+      ++wrapper_stats_.wrong_reads;
+    }
+  }
+  for (const auto& write : plan.writes) {
+    checker_.record_write(write.var, write.value);
+  }
+  return cost;
+}
+
 pram::Word FaultableMemory::peek(VarId var) const {
   if (!inner_injects_) {
-    if (model_.module_dead(synthetic_module(var), steps_)) {
+    if (model_.module_dead(synthetic_module(var), steps_served())) {
       return 0;
     }
     pram::Word stuck = 0;
-    if (model_.stuck_at(var.index(), 0, steps_, stuck)) {
+    if (model_.stuck_at(var.index(), 0, steps_served(), stuck)) {
       return stuck;
     }
   }
@@ -111,11 +150,12 @@ pram::Word FaultableMemory::peek(VarId var) const {
 void FaultableMemory::poke(VarId var, pram::Word value) {
   checker_.record_write(var, value);
   if (!inner_injects_) {
-    if (model_.module_dead(synthetic_module(var), steps_)) {
+    const std::uint64_t step = steps_served();
+    if (model_.module_dead(synthetic_module(var), step)) {
       ++wrapper_stats_.writes_dropped;
       return;
     }
-    if (model_.corrupt_write(var.index(), 0, steps_, steps_, value)) {
+    if (model_.corrupt_write(var.index(), 0, step, step, value)) {
       ++wrapper_stats_.corrupt_stores;
     }
   }

@@ -38,6 +38,34 @@ class FaultableMemory final : public pram::MemorySystem {
                          std::span<pram::Word> read_values,
                          std::span<const pram::VarWrite> writes) override;
 
+  /// Replica-level injection serves plans NATIVELY: the plan forwards to
+  /// the inner scheme's own serve (which applies the hooks at copy/share
+  /// granularity — including a group-parallel backend fanning groups
+  /// across ctx's executor) and the wrapper contributes only the oracle
+  /// pass, reading outage flags from the context. Wrapper-level
+  /// injection keeps the pre-v2 behavior: the default adapter funnels
+  /// the plan through step(), which degrades traffic externally.
+  pram::MemStepCost serve(const pram::AccessPlan& plan,
+                          pram::ServeContext& ctx) override;
+  using pram::MemorySystem::serve;
+
+  /// Plan grouping passes through under replica-level injection (the
+  /// plan reaches the inner scheme verbatim); wrapper-level injection
+  /// serves via step(), so grouping would be wasted sort work.
+  [[nodiscard]] std::uint64_t plan_group_of(VarId var) const override {
+    return inner_->plan_group_of(var);
+  }
+  [[nodiscard]] bool wants_plan_groups() const override {
+    return inner_injects_ && inner_->wants_plan_groups();
+  }
+  [[nodiscard]] std::uint32_t capabilities() const override {
+    return inner_injects_ ? inner_->capabilities() : 0;
+  }
+  pram::ServeBackend set_serve_backend(
+      pram::ServeBackend backend) override {
+    return inner_->set_serve_backend(backend);
+  }
+
   [[nodiscard]] std::uint64_t size() const override {
     return inner_->size();
   }
@@ -70,6 +98,18 @@ class FaultableMemory final : public pram::MemorySystem {
   /// schemes have nothing to rebuild from, so the pass is a no-op).
   pram::ScrubResult scrub(std::uint64_t budget) override;
 
+  /// The wrapper's own outage view: the inner scheme's flags under
+  /// replica-level injection, the synthetic dead-module flags under
+  /// wrapper-level injection. Populated by every serving entry (the
+  /// default serve() funnels through step(), which fills this), so
+  /// ServeContext callers see flags through the wrapper too — before the
+  /// ServeContext migration the wrapper computed these flags internally
+  /// and silently dropped them.
+  [[nodiscard]] std::span<const std::uint8_t> flagged_reads()
+      const override {
+    return flagged_;
+  }
+
   [[nodiscard]] const FaultModel& model() const { return model_; }
   [[nodiscard]] const TraceChecker& checker() const { return checker_; }
   /// True when the wrapped scheme injects at its own replica/share
@@ -88,8 +128,8 @@ class FaultableMemory final : public pram::MemorySystem {
   FaultModel model_;
   TraceChecker checker_;
   bool inner_injects_ = false;
-  std::uint64_t steps_ = 0;  ///< wrapper-level corruption stamp
   pram::ReliabilityStats wrapper_stats_;
+  std::vector<std::uint8_t> flagged_;  ///< last step's outage flags
 };
 
 }  // namespace pramsim::faults

@@ -40,11 +40,35 @@ class MvMemory final : public pram::MemorySystem {
   /// variable union, so the per-step dedup set disappears and module
   /// loads accumulate into a dense per-instance scratch array instead of
   /// a fresh unordered_map. Bit-identical to step() in both values and
-  /// cost. (No plan_group_of override: the placement hash can be redrawn
-  /// mid-run by the rehash policy, so it must not leak into plans built
-  /// ahead of time.)
+  /// cost. Under ServeBackend::kGroupParallel the plan's groups ARE the
+  /// touched modules (plan_group_of = module_of), so a group's load is
+  /// its size and the value loops fan across ctx.executor()'s workers
+  /// with per-chunk telemetry folded in chunk order.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
-                          std::span<pram::Word> read_values) override;
+                          pram::ServeContext& ctx) override;
+  using pram::MemorySystem::serve;
+
+  /// Group key = the copy's module. ONLY exposed on the group-parallel
+  /// backend, which requires the rehash policy off: a redrawable hash
+  /// must not leak into plans built ahead of time (set_serve_backend
+  /// refuses kGroupParallel when rehash_threshold != 0).
+  [[nodiscard]] std::uint64_t plan_group_of(VarId var) const override {
+    return module_of(var);
+  }
+  [[nodiscard]] bool wants_plan_groups() const override {
+    return backend_ == pram::ServeBackend::kGroupParallel;
+  }
+  [[nodiscard]] std::uint32_t capabilities() const override {
+    return config_.rehash_threshold == 0
+               ? std::uint32_t{pram::kGroupParallel}
+               : std::uint32_t{0};
+  }
+  pram::ServeBackend set_serve_backend(pram::ServeBackend backend) override {
+    backend_ = (capabilities() & pram::kGroupParallel) != 0
+                   ? backend
+                   : pram::ServeBackend::kSerial;
+    return backend_;
+  }
 
   [[nodiscard]] std::uint64_t size() const override { return cells_.size(); }
   [[nodiscard]] pram::Word peek(VarId var) const override;
@@ -63,7 +87,8 @@ class MvMemory final : public pram::MemorySystem {
   [[nodiscard]] pram::ReliabilityStats reliability() const override {
     return reliability_;
   }
-  [[nodiscard]] const std::vector<bool>& flagged_reads() const override {
+  [[nodiscard]] std::span<const std::uint8_t> flagged_reads()
+      const override {
     return flagged_reads_;
   }
   /// The known-hash preimage attack: the adversary (who can read the
@@ -80,28 +105,42 @@ class MvMemory final : public pram::MemorySystem {
   }
 
  private:
+  /// Per-chunk telemetry slot for the group-parallel value phase, folded
+  /// in chunk order after the fan-out.
+  struct ChunkTally {
+    pram::ReliabilityStats stats;
+    std::uint32_t max_load = 0;
+  };
+
   /// Read the single copy under fault injection (dead module ->
   /// uncorrectable zero with *flagged set, stuck cell -> silently wrong
-  /// stuck value).
-  [[nodiscard]] pram::Word faulted_read(VarId var, bool* flagged);
+  /// stuck value). Stats accrue into `stats` (chunk-local under the
+  /// group-parallel backend, reliability_ otherwise).
+  [[nodiscard]] pram::Word faulted_read(VarId var, bool* flagged,
+                                        pram::ReliabilityStats& stats);
   /// Commit a write unless the cell's module is dead; the committed word
   /// may be silently corrupted.
-  void faulted_write(VarId var, pram::Word value);
+  void faulted_write(VarId var, pram::Word value,
+                     pram::ReliabilityStats& stats);
+  /// The group-parallel value phase (plan groups = modules).
+  pram::MemStepCost serve_groups_parallel(const pram::AccessPlan& plan,
+                                          pram::ServeContext& ctx);
 
   MvMemoryConfig config_;
   util::Rng rng_;
   PolynomialHash hash_;
   std::vector<pram::Word> cells_;
+  pram::ServeBackend backend_ = pram::ServeBackend::kSerial;
   /// serve() scratch: per-module distinct-request counts plus the list of
   /// touched modules (for O(touched) reset), reused across steps.
   std::vector<std::uint32_t> load_scratch_;
   std::vector<std::uint32_t> touched_scratch_;
+  std::vector<ChunkTally> chunk_scratch_;
   std::uint64_t rehashes_ = 0;
-  std::uint64_t steps_ = 0;  ///< step counter (corruption stamp)
   util::RunningStats load_stats_;  ///< per-step max module load
   const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
   pram::ReliabilityStats reliability_;
-  std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
+  std::vector<std::uint8_t> flagged_reads_;  ///< last step's outage flags
 };
 
 }  // namespace pramsim::hashing

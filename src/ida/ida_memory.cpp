@@ -19,9 +19,34 @@ IdaMemory::IdaMemory(std::uint64_t m_vars, IdaMemoryConfig config)
       placement_(n_blocks_, config.n_modules, config.d, config.seed) {
   PRAMSIM_ASSERT(config_.n_modules >= config_.d);
   // One encoding of the all-zero block serves every untouched block, so
-  // construction is O(d) regardless of m (sparse storage).
+  // construction is O(d) regardless of m (sparse storage). check_shares
+  // rows carry the d checksum words after the d shares.
   const std::vector<pram::Word> zero_block(config_.b, 0);
   zero_shares_ = disperser_.encode_words(zero_block);
+  if (config_.check_shares) {
+    zero_shares_.resize(2 * config_.d);
+    for (std::uint32_t j = 0; j < config_.d; ++j) {
+      zero_shares_[config_.d + j] = 0;  // per-block salt applied on read
+    }
+  }
+}
+
+pram::Word IdaMemory::share_checksum(std::uint64_t block, std::uint32_t j,
+                                     pram::Word value) {
+  util::SplitMix64 mix(value ^ block * 0x9E3779B97F4A7C15ULL ^
+                       (j + 1) * 0xBF58476D1CE4E5B9ULL);
+  return mix.next();
+}
+
+pram::Word IdaMemory::checksum_at(std::uint64_t block,
+                                  std::uint32_t j) const {
+  const auto it = shares_.find(block);
+  if (it == shares_.end()) {
+    // Untouched block: the stored checksum is, by definition, the one
+    // the zero encoding's writer would have computed.
+    return share_checksum(block, j, zero_shares_[j]);
+  }
+  return it->second[config_.d + j];
 }
 
 pram::Word IdaMemory::share_at(std::uint64_t block, std::uint32_t j) const {
@@ -61,7 +86,7 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
   std::vector<ModuleId> modules(config_.d);
   placement_into_current(block, modules);
   for (std::uint32_t j = 0; j < config_.d; ++j) {
-    if (hooks_->module_dead(modules[j], steps_)) {
+    if (hooks_->module_dead(modules[j], steps_served())) {
       ++*erased;
       continue;
     }
@@ -70,11 +95,22 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
     }
     pram::Word value = share_at(block, j);
     pram::Word stuck = 0;
-    if (hooks_->stuck_at(block, j, steps_, stuck)) {
-      // A stuck share is indistinguishable from a healthy one: it joins
-      // the interpolation and silently poisons the whole block (IDA
-      // corrects erasures, not errors).
+    const bool is_stuck = hooks_->stuck_at(block, j, steps_served(), stuck);
+    if (is_stuck) {
       value = stuck;
+    }
+    if (config_.check_shares &&
+        share_checksum(block, j, value) != checksum_at(block, j)) {
+      // DETECTED bad share (stuck cell or corrupted store): its value no
+      // longer matches the checksum its writer stored, so it is excluded
+      // from the interpolation like an erasure — the checksum turns
+      // silent poison into a known-bad share.
+      ++*erased;
+      continue;
+    }
+    if (is_stuck) {
+      // Undetected stuck share: it joins the interpolation and silently
+      // poisons the whole block (bare IDA corrects erasures, not errors).
       ++*faulty;
     }
     indices.push_back(j);
@@ -115,21 +151,32 @@ void IdaMemory::encode_block(std::uint64_t block,
   auto& row = shares_.try_emplace(block, zero_shares_).first->second;
   if (hooks_ == nullptr) {
     std::copy(encoded.begin(), encoded.end(), row.begin());
+    if (config_.check_shares) {
+      for (std::uint32_t j = 0; j < config_.d; ++j) {
+        row[config_.d + j] = share_checksum(block, j, encoded[j]);
+      }
+    }
     return;
   }
   ++store_ops_;
   std::vector<ModuleId> modules(config_.d);
   placement_into_current(block, modules);
   for (std::uint32_t j = 0; j < config_.d; ++j) {
-    if (hooks_->module_dead(modules[j], steps_)) {
+    if (hooks_->module_dead(modules[j], steps_served())) {
       ++reliability_.writes_dropped;
       continue;
     }
     pram::Word word = encoded[j];
-    if (hooks_->corrupt_write(block, j, store_ops_, steps_, word)) {
+    if (hooks_->corrupt_write(block, j, store_ops_, steps_served(), word)) {
       ++reliability_.corrupt_stores;
     }
     row[j] = word;
+    if (config_.check_shares) {
+      // The checksum is computed by the WRITER from the true encoded
+      // word (and modeled as stored intact), so a corrupted data word
+      // leaves a mismatched pair the next decode detects.
+      row[config_.d + j] = share_checksum(block, j, encoded[j]);
+    }
   }
 }
 
@@ -137,7 +184,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
                                   std::span<pram::Word> read_values,
                                   std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
-  ++steps_;
+  advance_step_clock();
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
   failed_blocks_.clear();
@@ -193,7 +240,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
     decoded.emplace(blk, decode_block(blk));
   }
   if (hooks_ != nullptr) {
-    flagged_reads_.assign(reads.size(), false);
+    flagged_reads_.assign(reads.size(), 0);
   }
   for (std::size_t i = 0; i < reads.size(); ++i) {
     const auto blk = block_of(reads[i]);
@@ -204,7 +251,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
       // Every read of an under-threshold block is a FLAGGED loss;
       // reads of a degraded-but-reconstructed block are masked faults.
       if (failed_blocks_.count(blk) != 0) {
-        flagged_reads_[i] = true;
+        flagged_reads_[i] = 1;
         ++reliability_.uncorrectable;
       } else if (degraded_blocks_.count(blk) != 0) {
         ++reliability_.faults_masked;
@@ -245,13 +292,15 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
 }
 
 pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
-                                   std::span<pram::Word> read_values) {
+                                   pram::ServeContext& ctx) {
   if (!plan.grouped()) {
     // Defensive: a plan built for another target has no block groups.
-    return pram::MemorySystem::serve(plan, read_values);
+    return pram::MemorySystem::serve(plan, ctx);
   }
+  const std::span<pram::Word> read_values = ctx.read_values();
   PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
-  ++steps_;
+  advance_step_clock();
+  ctx.stamp_step(steps_served());
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
   failed_blocks_.clear();
@@ -355,7 +404,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
     }
   }
   if (hooks_ != nullptr) {
-    flagged_reads_.assign(plan.reads.size(), false);
+    flagged_reads_.assign(plan.reads.size(), 0);
   }
   for (std::size_t i = 0; i < plan.reads.size(); ++i) {
     const std::uint32_t g = plan.request_group[plan.read_request[i]];
@@ -367,7 +416,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
       // Every read of an under-threshold block is a FLAGGED loss;
       // reads of a degraded-but-reconstructed block are masked faults.
       if (group_status_[g] == 2) {
-        flagged_reads_[i] = true;
+        flagged_reads_[i] = 1;
         ++reliability_.uncorrectable;
       } else if (group_status_[g] == 1) {
         ++reliability_.faults_masked;
@@ -418,6 +467,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
   cost.time = read_rounds + write_rounds;
   cost.work = share_accesses_ - share_accesses_before;
   cost.max_queue = std::max(read_rounds, write_rounds);
+  adopt_legacy_flags(ctx);
   return cost;
 }
 
@@ -451,7 +501,7 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
     placement_into_current(block, modules);
     std::uint32_t dead_shares = 0;
     for (std::uint32_t j = 0; j < config_.d; ++j) {
-      dead_shares += hooks_->module_dead(modules[j], steps_) ? 1 : 0;
+      dead_shares += hooks_->module_dead(modules[j], steps_served()) ? 1 : 0;
     }
     if (dead_shares == 0) {
       continue;  // full share set alive: nothing to re-disperse
@@ -459,11 +509,12 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
     auto relocate_dead = [&]() {
       std::uint32_t relocated = 0;
       for (std::uint32_t j = 0; j < config_.d; ++j) {
-        if (!hooks_->module_dead(modules[j], steps_)) {
+        if (!hooks_->module_dead(modules[j], steps_served())) {
           continue;
         }
         ModuleId replacement;
-        if (pram::pick_healthy_module(*hooks_, steps_, config_.n_modules,
+        if (pram::pick_healthy_module(*hooks_, steps_served(),
+                                      config_.n_modules,
                                       config_.seed, block, j, modules,
                                       replacement)) {
           relocated_[block * config_.d + j] = replacement;

@@ -44,6 +44,14 @@ struct IdaMemoryConfig {
   std::uint32_t d = 8;          ///< shares per block
   std::uint32_t n_modules = 64; ///< modules shares are spread over (>= d)
   std::uint64_t seed = 1;       ///< share-placement seed
+  /// Store a per-share checksum word alongside every share and verify it
+  /// on decode: a share whose value no longer matches its checksum
+  /// (stuck cell, silently corrupted store) is DETECTED and excluded
+  /// from the interpolation like an erasure — silent block poisoning
+  /// becomes a masked fault (enough survivors) or a flagged outage (too
+  /// few), never a lie. Costs one extra word per share (storage factor
+  /// 2d/b instead of d/b); bench_faults quantifies the trade.
+  bool check_shares = false;
 };
 
 class IdaMemory final : public pram::MemorySystem {
@@ -60,8 +68,12 @@ class IdaMemory final : public pram::MemorySystem {
   /// in ascending block order, decoding into a per-instance flat buffer.
   /// Value-equivalent to step(); cost is identical up to the (now
   /// deterministic, ascending-block) least-loaded module selection order.
+  /// Serial under every backend: the least-loaded share pick makes
+  /// groups interdependent, so this scheme does not advertise
+  /// kGroupParallel.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
-                          std::span<pram::Word> read_values) override;
+                          pram::ServeContext& ctx) override;
+  using pram::MemorySystem::serve;
 
   /// Plans group by block: requests in one group share one decode.
   [[nodiscard]] std::uint64_t plan_group_of(VarId var) const override {
@@ -73,7 +85,7 @@ class IdaMemory final : public pram::MemorySystem {
   [[nodiscard]] pram::Word peek(VarId var) const override;
   void poke(VarId var, pram::Word value) override;
   [[nodiscard]] double storage_redundancy() const override {
-    return disperser_.storage_factor();
+    return disperser_.storage_factor() * (config_.check_shares ? 2.0 : 1.0);
   }
   [[nodiscard]] std::uint32_t num_modules() const override {
     return config_.n_modules;
@@ -94,7 +106,8 @@ class IdaMemory final : public pram::MemorySystem {
   [[nodiscard]] pram::ReliabilityStats reliability() const override {
     return reliability_;
   }
-  [[nodiscard]] const std::vector<bool>& flagged_reads() const override {
+  [[nodiscard]] std::span<const std::uint8_t> flagged_reads()
+      const override {
     return flagged_reads_;
   }
 
@@ -121,6 +134,17 @@ class IdaMemory final : public pram::MemorySystem {
   /// Share j of `block` as stored (all-zero encoding if untouched).
   [[nodiscard]] pram::Word share_at(std::uint64_t block,
                                     std::uint32_t j) const;
+  /// Stored checksum word of share j (check_shares rows carry the d
+  /// checksums after the d shares).
+  [[nodiscard]] pram::Word checksum_at(std::uint64_t block,
+                                       std::uint32_t j) const;
+  /// The checksum a share word SHOULD carry: a seeded hash of
+  /// (block, share index, value), computed by the writer from the true
+  /// encoded word — so a stuck cell or a store-time corruption leaves a
+  /// mismatched pair behind.
+  [[nodiscard]] static pram::Word share_checksum(std::uint64_t block,
+                                                 std::uint32_t j,
+                                                 pram::Word value);
   /// Decode a block and account erasures/threshold misses into
   /// reliability_ when running under fault hooks.
   [[nodiscard]] std::vector<pram::Word> decode_block(std::uint64_t block);
@@ -154,7 +178,6 @@ class IdaMemory final : public pram::MemorySystem {
   std::uint64_t vars_accessed_ = 0;
   std::uint64_t vars_processed_ = 0;
   std::uint64_t store_ops_ = 0;  ///< encode counter (corruption stamp)
-  std::uint64_t steps_ = 0;      ///< P-RAM step counter (fault clock)
   /// Scrub relocation overlay: (block * d + share) -> replacement module
   /// for shares moved off dead modules. Lookup-only.
   std::unordered_map<std::uint64_t, ModuleId> relocated_;
@@ -165,7 +188,7 @@ class IdaMemory final : public pram::MemorySystem {
   std::unordered_set<std::uint64_t> failed_blocks_;
   /// Blocks reconstructed around >= 1 bad share (reset per step).
   std::unordered_set<std::uint64_t> degraded_blocks_;
-  std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
+  std::vector<std::uint8_t> flagged_reads_;  ///< last step's outage flags
 
   // ----- serve() scratch (reused across steps; meaningless between) -----
   std::vector<std::uint32_t> module_load_;     ///< dense, reset via touched

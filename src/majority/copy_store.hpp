@@ -61,6 +61,28 @@ class CopyStore {
     row(var)[copy] = Copy{value, stamp};
   }
 
+  // ----- group-parallel serve surface -----
+  //
+  // The sparse map's structure must not mutate while group workers write
+  // concurrently, so the parallel value phase is two-phase: the serving
+  // thread materializes every written variable's row up front
+  // (ensure_row), then workers update DISTINCT variables' rows in place
+  // (write_prepared) — pure lookups, no insertion, no growth.
+
+  /// Materialize `var`'s row (serving thread only, before fan-out).
+  void ensure_row(VarId var) { (void)row(var); }
+
+  /// In-place write for a row ensure_row already materialized. Safe to
+  /// call concurrently with other write_prepared/reads on DIFFERENT
+  /// variables (and different copies of the same variable).
+  void write_prepared(VarId var, std::uint32_t copy, pram::Word value,
+                      std::uint64_t stamp) {
+    PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
+    const auto it = copies_.find(var.index());
+    PRAMSIM_DASSERT(it != copies_.end());
+    it->second[copy] = Copy{value, stamp};
+  }
+
   /// The freshest value among the copies selected by `mask` (bit i =>
   /// copy i participates). Requires a non-empty mask.
   [[nodiscard]] Copy freshest(VarId var, std::uint64_t mask) const;
@@ -110,6 +132,16 @@ class CopyStore {
                           std::uint64_t reroll, std::uint64_t step,
                           const pram::FaultHooks& hooks,
                           std::uint64_t& corrupt_stores);
+
+  /// store_all for the group-parallel degraded path: identical effects,
+  /// but writes through write_prepared — the caller must have
+  /// ensure_row'd `var` on the serving thread first.
+  std::uint32_t store_all_prepared(VarId var,
+                                   std::span<const ModuleId> modules,
+                                   pram::Word value, std::uint64_t stamp,
+                                   std::uint64_t reroll, std::uint64_t step,
+                                   const pram::FaultHooks& hooks,
+                                   std::uint64_t& corrupt_stores);
 
  private:
   [[nodiscard]] std::vector<Copy>& row(VarId var) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace pramsim::majority {
@@ -30,6 +31,16 @@ MajorityMemory::MajorityMemory(std::shared_ptr<const memmap::MemoryMap> map,
     : MajorityMemory(
           std::make_unique<DmmpcEngine>(std::move(map), scheduler)) {}
 
+std::uint64_t MajorityMemory::plan_group_of(VarId var) const {
+  // The base map's first copy module (r <= 64 by CopyStore contract, so
+  // a stack buffer suffices and the call is allocation-free and
+  // thread-safe for the plan generator).
+  ModuleId modules[64];
+  const std::uint32_t r = engine_->map().redundancy();
+  engine_->map().copies_into(var, std::span<ModuleId>(modules, r));
+  return modules[0].index();
+}
+
 void MajorityMemory::copies_into_current(VarId var,
                                          std::span<ModuleId> out) const {
   engine_->map().copies_into(var, out);
@@ -52,12 +63,13 @@ std::uint64_t MajorityMemory::degraded_serve(
   // copy, write-through to every surviving copy. The engine's schedule
   // still prices the step; the widened copy traffic is extra work.
   const std::uint32_t r = engine_->map().redundancy();
+  const std::uint64_t stamp = steps_served();
   std::uint64_t fault_work = 0;
   std::vector<ModuleId> modules(r);
-  flagged_reads_.assign(reads.size(), false);
+  flagged_reads_.assign(reads.size(), 0);
   for (std::size_t i = 0; i < reads.size(); ++i) {
     copies_into_current(reads[i], modules);
-    const auto outcome = store_.vote(reads[i], modules, stamp_, *hooks_);
+    const auto outcome = store_.vote(reads[i], modules, stamp, *hooks_);
     read_values[i] = outcome.winner.value;
     ++reliability_.reads_served;
     reliability_.erasures_skipped += outcome.erased;
@@ -65,7 +77,7 @@ std::uint64_t MajorityMemory::degraded_serve(
     fault_work += outcome.survivors;
     if (outcome.survivors == 0) {
       ++reliability_.uncorrectable;
-      flagged_reads_[i] = true;
+      flagged_reads_[i] = 1;
     } else if (outcome.erased + outcome.dissenting > 0) {
       ++reliability_.faults_masked;
     }
@@ -73,8 +85,8 @@ std::uint64_t MajorityMemory::degraded_serve(
   for (std::size_t i = 0; i < writes.size(); ++i) {
     copies_into_current(writes[i].var, modules);
     reliability_.writes_dropped +=
-        store_.store_all(writes[i].var, modules, writes[i].value, stamp_,
-                         stamp_, stamp_, *hooks_,
+        store_.store_all(writes[i].var, modules, writes[i].value, stamp,
+                         stamp, stamp, *hooks_,
                          reliability_.corrupt_stores);
     fault_work += r;
   }
@@ -85,7 +97,7 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
                                        std::span<pram::Word> read_values,
                                        std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
-  ++stamp_;
+  const std::uint64_t stamp = advance_step_clock();
 
   // Union of accessed variables: one protocol request per distinct var.
   // A variable that is both read and written this step is accessed once;
@@ -133,7 +145,7 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
       const std::uint64_t mask = result.accessed_mask[write_req[i]];
       for (std::uint32_t copy = 0; copy < r; ++copy) {
         if ((mask >> copy) & 1ULL) {
-          store_.write(writes[i].var, copy, writes[i].value, stamp_);
+          store_.write(writes[i].var, copy, writes[i].value, stamp);
         }
       }
     }
@@ -148,9 +160,11 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
 }
 
 pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
-                                        std::span<pram::Word> read_values) {
+                                        pram::ServeContext& ctx) {
+  const std::span<pram::Word> read_values = ctx.read_values();
   PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
-  ++stamp_;
+  const std::uint64_t stamp = advance_step_clock();
+  ctx.stamp_step(stamp);
 
   // The plan's request list IS the access union in step()'s order (reads
   // first, then write-only variables); requesters are synthesized
@@ -163,6 +177,8 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
          plan.requests[j].op});
   }
 
+  // The engine schedule is a global protocol over every request; it
+  // stays on the serving thread under either backend.
   engine_->run_step_into(request_scratch_, engine_scratch_);
   const EngineResult& result = engine_scratch_;
   time_stats_.add(static_cast<double>(result.time));
@@ -171,7 +187,18 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
   const std::uint32_t r = engine_->map().redundancy();
   std::uint64_t fault_work = 0;
   flagged_reads_.clear();
-  if (hooks_ == nullptr) {
+  // Fan the value phase only when the executor would actually hand out
+  // more than one chunk: at one worker the plain read/write loops below
+  // do the same work without the group indirection (identical values and
+  // telemetry either way — the backends are bit-equivalent by contract).
+  const bool fan =
+      backend_ == pram::ServeBackend::kGroupParallel && plan.grouped() &&
+      ctx.executor() != nullptr &&
+      ctx.executor()->plan_workers(plan.num_groups(),
+                                   plan.requests.size()) > 1;
+  if (fan) {
+    fault_work = serve_groups_parallel(plan, ctx, result);
+  } else if (hooks_ == nullptr) {
     for (std::size_t i = 0; i < plan.reads.size(); ++i) {
       read_values[i] =
           store_
@@ -185,12 +212,13 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
       for (std::uint32_t copy = 0; copy < r; ++copy) {
         if ((mask >> copy) & 1ULL) {
           store_.write(plan.writes[i].var, copy, plan.writes[i].value,
-                       stamp_);
+                       stamp);
         }
       }
     }
   } else {
     fault_work = degraded_serve(plan.reads, read_values, plan.writes);
+    adopt_legacy_flags(ctx);
   }
 
   return pram::MemStepCost{.time = result.time,
@@ -199,13 +227,138 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
                            .max_queue = result.stats.max_queue};
 }
 
+std::uint64_t MajorityMemory::serve_groups_parallel(
+    const pram::AccessPlan& plan, pram::ServeContext& ctx,
+    const EngineResult& result) {
+  const std::span<pram::Word> read_values = ctx.read_values();
+  const std::uint32_t r = engine_->map().redundancy();
+  const std::uint64_t stamp = steps_served();
+  const std::size_t n_reads = plan.reads.size();
+
+  // Two-phase for the sparse store: rows this step will write are
+  // materialized up front on the serving thread, so group workers only
+  // mutate distinct pre-existing rows (the map's structure is frozen
+  // during the fan-out). Under the degraded protocol a write whose every
+  // module is dead stores nothing — leave its row unmaterialized so the
+  // sparse-store state matches the serial path exactly (scrub treats
+  // untouched rows specially).
+  if (hooks_ == nullptr) {
+    for (const auto& w : plan.writes) {
+      store_.ensure_row(w.var);
+    }
+  } else {
+    ctx.enable_flags();
+    std::vector<ModuleId> modules(r);
+    for (const auto& w : plan.writes) {
+      copies_into_current(w.var, modules);
+      for (std::uint32_t copy = 0; copy < r; ++copy) {
+        if (!hooks_->module_dead(modules[copy], stamp)) {
+          store_.ensure_row(w.var);
+          break;
+        }
+      }
+    }
+  }
+
+  const pram::GroupRange groups(plan);
+  util::Executor* executor = ctx.executor();
+  const std::size_t workers =
+      executor != nullptr
+          ? executor->plan_workers(groups.size(), plan.requests.size())
+          : 1;
+  const std::size_t chunk = (groups.size() + workers - 1) / workers;
+  chunk_scratch_.assign(workers, {});
+
+  auto body = [&](std::size_t g_lo, std::size_t g_hi) {
+    ChunkTally& tally = chunk_scratch_[g_lo / chunk];
+    ModuleId modules[64];
+    const std::span<ModuleId> module_span(modules, r);
+    for (std::size_t g = g_lo; g < g_hi; ++g) {
+      const auto unit = groups[g];
+      if (hooks_ == nullptr) {
+        for (const std::uint32_t j : unit.requests) {
+          // Requests lead with the reads in plan order, so a request
+          // index below n_reads IS its read index.
+          if (j < n_reads) {
+            read_values[j] =
+                store_.freshest(plan.reads[j], result.accessed_mask[j])
+                    .value;
+          }
+          const std::uint32_t w = plan.request_write[j];
+          if (w != pram::AccessPlan::kNone) {
+            const std::uint64_t mask = result.accessed_mask[j];
+            for (std::uint32_t copy = 0; copy < r; ++copy) {
+              if ((mask >> copy) & 1ULL) {
+                store_.write_prepared(plan.writes[w].var, copy,
+                                      plan.writes[w].value, stamp);
+              }
+            }
+          }
+        }
+        continue;
+      }
+      // Degraded protocol, group-local: the group's reads vote first
+      // (pre-step state), then its writes store through. Groups touch
+      // disjoint variables, so cross-group interleaving cannot change
+      // any value; telemetry lands in this chunk's tally.
+      for (const std::uint32_t j : unit.requests) {
+        if (j >= n_reads) {
+          continue;
+        }
+        copies_into_current(plan.reads[j], module_span);
+        const auto outcome =
+            store_.vote(plan.reads[j], module_span, stamp, *hooks_);
+        read_values[j] = outcome.winner.value;
+        ++tally.stats.reads_served;
+        tally.stats.erasures_skipped += outcome.erased;
+        tally.stats.units_faulty += outcome.erased + outcome.dissenting;
+        tally.fault_work += outcome.survivors;
+        if (outcome.survivors == 0) {
+          ++tally.stats.uncorrectable;
+          ctx.flag_read(j);
+        } else if (outcome.erased + outcome.dissenting > 0) {
+          ++tally.stats.faults_masked;
+        }
+      }
+      for (const std::uint32_t j : unit.requests) {
+        const std::uint32_t w = plan.request_write[j];
+        if (w == pram::AccessPlan::kNone) {
+          continue;
+        }
+        copies_into_current(plan.writes[w].var, module_span);
+        tally.stats.writes_dropped += store_.store_all_prepared(
+            plan.writes[w].var, module_span, plan.writes[w].value, stamp,
+            stamp, stamp, *hooks_, tally.stats.corrupt_stores);
+        tally.fault_work += r;
+      }
+    }
+  };
+  if (executor != nullptr && workers > 1) {
+    executor->run_with(groups.size(), workers, body);
+  } else {
+    body(0, groups.size());
+  }
+
+  // Deterministic post-merge: chunk tallies fold in chunk order (every
+  // field is a commutative sum, so any worker count folds identically).
+  std::uint64_t fault_work = 0;
+  for (const auto& tally : chunk_scratch_) {
+    reliability_.merge(tally.stats);
+    fault_work += tally.fault_work;
+  }
+  if (hooks_ != nullptr) {
+    flagged_reads_.assign(ctx.flags().begin(), ctx.flags().end());
+  }
+  return fault_work;
+}
+
 pram::Word MajorityMemory::peek(VarId var) const {
   if (hooks_ != nullptr) {
     // A fault-aware verifier reads the way the degraded protocol does,
     // at the current step of the fault clock.
     std::vector<ModuleId> modules(engine_->map().redundancy());
     copies_into_current(var, modules);
-    return store_.vote(var, modules, stamp_, *hooks_).winner.value;
+    return store_.vote(var, modules, steps_served(), *hooks_).winner.value;
   }
   return store_.ground_truth(var).value;
 }
@@ -216,15 +369,16 @@ void MajorityMemory::poke(VarId var, pram::Word value) {
   // injection, initialization is subject to the same faults as any other
   // store (modules dead at the current step never learn the value).
   if (hooks_ != nullptr) {
+    const std::uint64_t stamp = steps_served();
     std::vector<ModuleId> modules(engine_->map().redundancy());
     copies_into_current(var, modules);
     reliability_.writes_dropped +=
-        store_.store_all(var, modules, value, stamp_, stamp_, stamp_,
+        store_.store_all(var, modules, value, stamp, stamp, stamp,
                          *hooks_, reliability_.corrupt_stores);
     return;
   }
   for (std::uint32_t copy = 0; copy < engine_->map().redundancy(); ++copy) {
-    store_.write(var, copy, value, stamp_);
+    store_.write(var, copy, value, steps_served());
   }
 }
 
@@ -233,6 +387,7 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
   if (hooks_ == nullptr || budget == 0) {
     return result;
   }
+  const std::uint64_t stamp = steps_served();
   const std::uint32_t r = engine_->map().redundancy();
   const std::uint64_t m = engine_->map().num_vars();
   std::vector<ModuleId> modules(r);
@@ -241,7 +396,7 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
     scrub_cursor_ = (scrub_cursor_ + 1) % m;
     ++result.scanned;
     copies_into_current(var, modules);
-    const auto outcome = store_.vote(var, modules, stamp_, *hooks_);
+    const auto outcome = store_.vote(var, modules, stamp, *hooks_);
     result.work += outcome.survivors;
     if (outcome.survivors == 0 ||
         (outcome.erased == 0 && outcome.dissenting == 0)) {
@@ -264,11 +419,11 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
       store_helps = true;
     } else {
       for (std::uint32_t copy = 0; copy < r && !store_helps; ++copy) {
-        if (hooks_->module_dead(modules[copy], stamp_)) {
+        if (hooks_->module_dead(modules[copy], stamp)) {
           continue;
         }
         pram::Word stuck = 0;
-        if (hooks_->stuck_at(var.index(), copy, stamp_, stuck)) {
+        if (hooks_->stuck_at(var.index(), copy, stamp, stuck)) {
           continue;
         }
         const Copy& held = store_.at(var, copy);
@@ -283,11 +438,11 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
     // module later died are re-homed again.
     std::uint32_t relocated = 0;
     for (std::uint32_t copy = 0; copy < r; ++copy) {
-      if (!hooks_->module_dead(modules[copy], stamp_)) {
+      if (!hooks_->module_dead(modules[copy], stamp)) {
         continue;
       }
       ModuleId replacement;
-      if (pram::pick_healthy_module(*hooks_, stamp_,
+      if (pram::pick_healthy_module(*hooks_, stamp,
                                     engine_->map().num_modules(), map_salt_,
                                     var.index(), copy, modules,
                                     replacement)) {
@@ -314,8 +469,8 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
     // here instead of deterministically re-corrupting.
     const std::uint64_t reroll = (1ULL << 63) | scrub_stores_++;
     const std::uint32_t dropped =
-        store_.store_all(var, modules, outcome.winner.value, stamp_, reroll,
-                         stamp_, *hooks_, reliability_.corrupt_stores);
+        store_.store_all(var, modules, outcome.winner.value, stamp, reroll,
+                         stamp, *hooks_, reliability_.corrupt_stores);
     result.work += r - dropped;
     ++result.repaired;
     ++reliability_.units_repaired;

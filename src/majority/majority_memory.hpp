@@ -42,8 +42,31 @@ class MajorityMemory final : public pram::MemorySystem {
   /// schedules through the engine's scratch-backed run_step_into.
   /// Value-equivalent to step(); request order (reads first, then
   /// write-only variables) matches step()'s synthesized order exactly.
+  /// Under ServeBackend::kGroupParallel the value phase (healthy
+  /// freshest/commit, degraded vote/store) fans the plan's module groups
+  /// across ctx.executor()'s workers — the engine schedule stays serial
+  /// (it is a global protocol) — with per-chunk telemetry folded in
+  /// chunk order, so results are bit-identical at any worker count.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
-                          std::span<pram::Word> read_values) override;
+                          pram::ServeContext& ctx) override;
+  using pram::MemorySystem::serve;
+
+  /// Group-parallel work units are module groups keyed by the variable's
+  /// FIRST mapped copy module (the base map's placement; scrub
+  /// relocations never move a variable between groups — the key only
+  /// partitions work, it never resolves placement). Stable and
+  /// thread-safe: a pure function of the immutable map.
+  [[nodiscard]] std::uint64_t plan_group_of(VarId var) const override;
+  [[nodiscard]] bool wants_plan_groups() const override {
+    return backend_ == pram::ServeBackend::kGroupParallel;
+  }
+  [[nodiscard]] std::uint32_t capabilities() const override {
+    return pram::kGroupParallel;
+  }
+  pram::ServeBackend set_serve_backend(pram::ServeBackend backend) override {
+    backend_ = backend;
+    return backend_;
+  }
 
   [[nodiscard]] std::uint64_t size() const override {
     return engine_->map().num_vars();
@@ -81,7 +104,8 @@ class MajorityMemory final : public pram::MemorySystem {
   [[nodiscard]] pram::ReliabilityStats reliability() const override {
     return reliability_;
   }
-  [[nodiscard]] const std::vector<bool>& flagged_reads() const override {
+  [[nodiscard]] std::span<const std::uint8_t> flagged_reads()
+      const override {
     return flagged_reads_;
   }
 
@@ -93,7 +117,6 @@ class MajorityMemory final : public pram::MemorySystem {
   [[nodiscard]] const memmap::MemoryMap& map() const {
     return engine_->map();
   }
-  [[nodiscard]] std::uint64_t steps_served() const { return stamp_; }
   /// Distribution of per-step time (rounds/cycles) so far.
   [[nodiscard]] const util::RunningStats& time_stats() const {
     return time_stats_;
@@ -114,19 +137,33 @@ class MajorityMemory final : public pram::MemorySystem {
   /// first relocation.
   void copies_into_current(VarId var, std::span<ModuleId> out) const;
 
+  /// Group-parallel value phase shared by the healthy and degraded
+  /// serve paths: fan the plan's groups across ctx.executor()'s workers
+  /// (chunk telemetry folded in chunk order afterwards).
+  std::uint64_t serve_groups_parallel(const pram::AccessPlan& plan,
+                                      pram::ServeContext& ctx,
+                                      const EngineResult& result);
+
   std::unique_ptr<AccessEngine> engine_;
   CopyStore store_;
-  std::uint64_t stamp_ = 0;  ///< current P-RAM step number (timestamps)
   std::uint32_t n_processors_;
   util::RunningStats time_stats_;
   ProtocolStats last_stats_;
+  pram::ServeBackend backend_ = pram::ServeBackend::kSerial;
   /// serve() scratch: the plan's requests with synthesized requesters,
   /// and the engine result buffers, both reused across steps.
   std::vector<VarRequest> request_scratch_;
   EngineResult engine_scratch_;
+  /// Per-chunk telemetry slots for the group-parallel degraded phase
+  /// (folded deterministically after the fan-out).
+  struct ChunkTally {
+    pram::ReliabilityStats stats;
+    std::uint64_t fault_work = 0;
+  };
+  std::vector<ChunkTally> chunk_scratch_;
   const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy
   pram::ReliabilityStats reliability_;
-  std::vector<bool> flagged_reads_;  ///< last step's per-read outage flags
+  std::vector<std::uint8_t> flagged_reads_;  ///< last step's outage flags
   /// Scrub relocation overlay: (var * r + copy) -> replacement module for
   /// copies moved off dead modules. Lookup-only (order never observed).
   std::unordered_map<std::uint64_t, ModuleId> relocated_;

@@ -75,6 +75,37 @@ struct AccessPlan {
 
   [[nodiscard]] std::size_t num_groups() const { return group_keys.size(); }
   [[nodiscard]] bool grouped() const { return !group_offsets.empty(); }
+
+  /// Group g's requests (indices into `requests`), in plan order.
+  [[nodiscard]] std::span<const std::uint32_t> group(std::size_t g) const {
+    return group_requests.subspan(group_offsets[g],
+                                  group_offsets[g + 1] - group_offsets[g]);
+  }
+};
+
+/// The plan's pre-partitioned module groups as schedulable work units:
+/// group-parallel backends iterate GroupRange and fan contiguous chunks
+/// of it across executor workers. Each unit is one group — requests
+/// sharing a plan_group_of key (target module / block) — and units touch
+/// disjoint variables by construction, so serving them in any order (or
+/// concurrently) commits the same state; only telemetry needs a
+/// deterministic post-merge.
+class GroupRange {
+ public:
+  explicit GroupRange(const AccessPlan& plan) : plan_(&plan) {}
+
+  struct Unit {
+    std::uint64_t key = 0;  ///< the shared plan_group_of key
+    std::span<const std::uint32_t> requests;  ///< indices into plan.requests
+  };
+
+  [[nodiscard]] std::size_t size() const { return plan_->num_groups(); }
+  [[nodiscard]] Unit operator[](std::size_t g) const {
+    return {plan_->group_keys[g], plan_->group(g)};
+  }
+
+ private:
+  const AccessPlan* plan_;
 };
 
 }  // namespace pramsim::pram

@@ -9,12 +9,14 @@
 // P-RAM the paper describes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "pram/access_plan.hpp"
 #include "pram/faults.hpp"
+#include "pram/serve_context.hpp"
 #include "pram/types.hpp"
 
 namespace pramsim::memmap {
@@ -52,6 +54,23 @@ struct ScrubResult {
   }
 };
 
+/// Capability bits a scheme advertises on the serve surface
+/// (MemorySystem::capabilities).
+enum ServeCapability : std::uint32_t {
+  /// serve(plan, ctx) can fan the plan's module groups across
+  /// ctx.executor()'s workers (groups are independent work units).
+  kGroupParallel = 1u << 0,
+};
+
+/// Which serve backend a scheme instance runs
+/// (MemorySystem::set_serve_backend; swept by core::SchemeSpec::backend).
+enum class ServeBackend : std::uint8_t {
+  kSerial,         ///< one thread serves the whole plan (the default)
+  kGroupParallel,  ///< plan groups fan across the context's executor
+};
+
+[[nodiscard]] const char* to_string(ServeBackend backend);
+
 /// Interface all shared-memory organizations implement.
 ///
 /// Semantics contract (matching the P-RAM step semantics): all reads
@@ -71,29 +90,56 @@ class MemorySystem {
                            std::span<Word> read_values,
                            std::span<const VarWrite> writes) = 0;
 
-  // ----- the plan-based serve entry (two-entry contract) ---------------
+  // ----- the plan-based serve entry (three-part contract) ---------------
   //
-  // serve() is the hot batched entry: the driver combines/groups each
-  // step ONCE into an arena-backed AccessPlan (core::PlanBuilder) and
-  // every backend may consume the precomputed joins instead of rebuilding
-  // them. The contract future backends must honor:
+  // serve(plan, ctx) is the hot batched entry: the driver combines/groups
+  // each step ONCE into an arena-backed AccessPlan (core::PlanBuilder)
+  // and hands the per-step I/O surface — output span, step clock, outage
+  // flags, executor — in one caller-owned ServeContext. The contract
+  // backends must honor:
   //
   //  * The DEFAULT serve() adapts to step() by forwarding plan.reads /
-  //    plan.writes verbatim, so implementing step() alone keeps a scheme
-  //    fully functional (all ten SchemeKinds worked unmodified when this
-  //    entry landed). Wrappers (e.g. faults::FaultableMemory) that must
-  //    observe every access intercept step() and inherit the default
-  //    serve(), which funnels plans through their step() override.
+  //    plan.writes verbatim (and mirroring the legacy flagged_reads()
+  //    surface into the context afterwards), so implementing step() alone
+  //    keeps a scheme fully functional. Wrappers (e.g.
+  //    faults::FaultableMemory) that must observe every access intercept
+  //    step() and inherit this default, which funnels plans through their
+  //    step() override.
   //  * A native serve() override must be value-equivalent to step() for
-  //    the same combined step: same read_values, same committed state.
-  //    Cost/telemetry may differ only by deterministic scheduling detail.
+  //    the same combined step: same read_values, same committed state,
+  //    same outage flags. Cost/telemetry may differ only by deterministic
+  //    scheduling detail.
   //  * serve() may keep per-instance scratch; it is called from one
-  //    thread at a time like step().
+  //    thread at a time like step(). A scheme advertising kGroupParallel
+  //    (capabilities()) and switched to ServeBackend::kGroupParallel may
+  //    additionally fan the plan's groups across ctx.executor()'s
+  //    workers — but group results must merge DETERMINISTICALLY: output
+  //    slots disjoint by construction, telemetry accumulated per chunk
+  //    and folded in group order, never atomics racing on shared
+  //    counters. Group-parallel serve must be bit-identical to serial
+  //    serve at ANY worker count.
+  //  * Every serve stamps the engine step clock (advance_step_clock) and
+  //    publishes the stamp via ctx.stamp_step, so fault hooks and probes
+  //    share one clock instead of per-scheme counters.
 
-  /// Serve one pre-combined step. read_values[i] receives plan.reads[i].
-  virtual MemStepCost serve(const AccessPlan& plan,
-                            std::span<Word> read_values) {
-    return step(plan.reads, read_values, plan.writes);
+  /// Serve one pre-combined step. ctx.read_values()[i] receives the
+  /// value of plan.reads[i].
+  virtual MemStepCost serve(const AccessPlan& plan, ServeContext& ctx) {
+    const MemStepCost cost = step(plan.reads, ctx.read_values(),
+                                  plan.writes);
+    ctx.stamp_step(steps_served());
+    adopt_legacy_flags(ctx);
+    return cost;
+  }
+
+  /// DEPRECATED two-arg entry, kept as a non-virtual adapter so pre-v2
+  /// call sites keep working: wraps `read_values` in a throwaway
+  /// ServeContext (no executor, flags discarded after the call — read
+  /// them via flagged_reads() as before). New code should own a
+  /// ServeContext and call serve(plan, ctx).
+  MemStepCost serve(const AccessPlan& plan, std::span<Word> read_values) {
+    ServeContext ctx(read_values);
+    return serve(plan, ctx);
   }
 
   /// Stable per-variable grouping key for plan building (target module /
@@ -108,6 +154,29 @@ class MemorySystem {
   /// True when plan_group_of defines a grouping worth materializing; the
   /// builder skips the group arrays (and their sort) otherwise.
   [[nodiscard]] virtual bool wants_plan_groups() const { return false; }
+
+  /// Serve-surface capability bits (ServeCapability). A scheme that can
+  /// fan plan groups across executor workers advertises kGroupParallel;
+  /// the factory only switches backends capabilities allow.
+  [[nodiscard]] virtual std::uint32_t capabilities() const { return 0; }
+
+  /// Select the serve backend. Returns the backend actually in effect:
+  /// schemes without the matching capability (or whose configuration
+  /// forbids it — e.g. a rehashing baseline whose placement moves) stay
+  /// on kSerial. Like set_fault_hooks: switch before serving traffic,
+  /// never between steps — plans built for one backend may lack the
+  /// group arrays the other consumes.
+  virtual ServeBackend set_serve_backend(ServeBackend backend) {
+    (void)backend;
+    return ServeBackend::kSerial;
+  }
+
+  /// Steps served so far — the engine-wide step clock. Every serving
+  /// entry advances it exactly once per P-RAM step (schemes call
+  /// advance_step_clock at the top of step()/serve()); fault hooks,
+  /// scrub passes, and peek/poke verification all read this one clock
+  /// instead of per-scheme stamp counters.
+  [[nodiscard]] std::uint64_t steps_served() const { return step_clock_; }
 
   /// Number of addressable shared variables (m).
   [[nodiscard]] virtual std::uint64_t size() const = 0;
@@ -164,14 +233,17 @@ class MemorySystem {
   /// (all-zero when none are installed or the scheme ignores them).
   [[nodiscard]] virtual ReliabilityStats reliability() const { return {}; }
 
-  /// Per-read outage flags for the most recent step() served under
-  /// fault hooks: flags[i] true means reads[i] fell below the scheme's
-  /// reconstruction threshold and its value is a FLAGGED loss, not a
-  /// candidate lie (the trace-consistency oracle must not count it as a
-  /// silent wrong read). Empty when the last step flagged nothing.
-  [[nodiscard]] virtual const std::vector<bool>& flagged_reads() const {
-    static const std::vector<bool> kNone;
-    return kNone;
+  /// LEGACY per-read outage surface: flags for the most recent step
+  /// served under fault hooks; flags[i] != 0 means reads[i] fell below
+  /// the scheme's reconstruction threshold and its value is a FLAGGED
+  /// loss, not a candidate lie (the trace-consistency oracle must not
+  /// count it as a silent wrong read). Empty when the last step flagged
+  /// nothing. ServeContext::flags() is the primary transport on the
+  /// serve path; this accessor remains for step()-level callers and must
+  /// stay populated by BOTH entries.
+  [[nodiscard]] virtual std::span<const std::uint8_t> flagged_reads()
+      const {
+    return {};
   }
 
   /// Scheme-chosen worst-case traffic: up to `count` distinct variables
@@ -184,6 +256,32 @@ class MemorySystem {
     (void)seed;
     return {};
   }
+
+ protected:
+  /// Advance the engine step clock by one P-RAM step and return the new
+  /// stamp. Called exactly once per served step, by whichever entry
+  /// serves it (never by adapters that delegate to another entry).
+  std::uint64_t advance_step_clock() { return ++step_clock_; }
+
+  /// Mirror the legacy flagged_reads() surface into the context (used by
+  /// the default serve() adapter after funneling through step()).
+  void adopt_legacy_flags(ServeContext& ctx) const {
+    const auto flags = flagged_reads();
+    if (flags.empty()) {
+      return;
+    }
+    ctx.enable_flags();
+    const std::size_t n = std::min(flags.size(),
+                                   ctx.read_values().size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flags[i] != 0) {
+        ctx.flag_read(i);
+      }
+    }
+  }
+
+ private:
+  std::uint64_t step_clock_ = 0;  ///< P-RAM steps served (fault clock)
 };
 
 /// The ideal P-RAM's own memory: a flat array with unit access time.

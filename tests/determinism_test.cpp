@@ -109,5 +109,76 @@ TEST(Determinism, DoubleBufferingDoesNotChangeResults) {
   }
 }
 
+// ----- Engine API v2: group-parallel serve inside the pipeline ---------
+
+// The kGroupParallel backend must not change ANY pipeline result — not
+// versus the serial backend, and not across executor worker counts. The
+// worker override steers both the shard-level parallel_for AND the
+// intra-step group fan-out, so this pins determinism at both levels at
+// once.
+TEST(Determinism, GroupParallelBackendBitIdenticalAcrossWorkersAndBackends) {
+  WorkerOverrideGuard guard;
+  for (const auto kind :
+       {core::SchemeKind::kDmmpc, core::SchemeKind::kHashed}) {
+    core::SchemeSpec spec{.kind = kind, .n = 16, .seed = 3};
+    const core::StressOptions options{
+        .steps_per_family = 4, .seed = 9, .trials = 2};
+
+    spec.backend = pram::ServeBackend::kSerial;
+    core::SimulationPipeline serial_pipeline(spec);
+    const auto serial = serial_pipeline.run_stress(options);
+
+    spec.backend = pram::ServeBackend::kGroupParallel;
+    core::SimulationPipeline gp_pipeline(spec);
+    ASSERT_EQ(gp_pipeline.scheme().backend,
+              pram::ServeBackend::kGroupParallel)
+        << core::to_string(kind);
+    util::set_parallel_workers_override(1);
+    const auto gp_serial_workers = gp_pipeline.run_stress(options);
+    util::set_parallel_workers_override(many_workers());
+    const auto gp_many_workers = gp_pipeline.run_stress(options);
+    util::set_parallel_workers_override(0);
+
+    expect_identical(serial, gp_serial_workers, core::to_string(kind));
+    expect_identical(serial, gp_many_workers, core::to_string(kind));
+  }
+}
+
+// Scrub interleaved with the double-buffered pipeline under the context
+// API: dynamic-onset faults land mid-run, the driver scrubs every other
+// step, and the whole thing must stay bit-identical at any worker count,
+// with the group-parallel backend serving inside the shards.
+TEST(Determinism, ScrubbedGroupParallelStressBitIdenticalAcrossWorkerCounts) {
+  WorkerOverrideGuard guard;
+  for (const auto kind :
+       {core::SchemeKind::kDmmpc, core::SchemeKind::kHashed}) {
+    core::SchemeSpec spec{.kind = kind, .n = 16, .seed = 3};
+    spec.backend = pram::ServeBackend::kGroupParallel;
+    core::SimulationPipeline pipeline(spec);
+    const faults::FaultSpec fault_spec{.seed = 41,
+                                       .module_kill_rate = 0.25,
+                                       .corruption_rate = 0.1,
+                                       .onset_min = 2,
+                                       .onset_max = 5};
+    core::StressOptions options{.steps_per_family = 6, .seed = 13,
+                                .trials = 2};
+    options.scrub_interval = 2;
+    options.scrub_budget = 64;
+
+    util::set_parallel_workers_override(1);
+    const auto serial = pipeline.run_with_faults(fault_spec, options);
+    util::set_parallel_workers_override(many_workers());
+    const auto parallel = pipeline.run_with_faults(fault_spec, options);
+    util::set_parallel_workers_override(0);
+    EXPECT_GT(serial.reliability.reads_served, 0u);
+    expect_identical(serial, parallel, core::to_string(kind));
+
+    // Double buffering on top must change nothing either.
+    options.double_buffer = false;
+    const auto unbuffered = pipeline.run_with_faults(fault_spec, options);
+    expect_identical(serial, unbuffered, core::to_string(kind));
+  }
+}
+
 }  // namespace
 }  // namespace pramsim

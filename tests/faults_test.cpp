@@ -263,6 +263,82 @@ TEST(IdaFaults, StuckShareSilentlyPoisonsTheBlock) {
   EXPECT_EQ(memory.reliability().uncorrectable, 0u);
 }
 
+// ---------------------------------------- IDA share checksums -----------
+
+TEST(IdaFaults, CheckSharesTurnStuckPoisonIntoMaskedFault) {
+  // Same adversary as StuckShareSilentlyPoisonsTheBlock, but with
+  // per-share checksums: the stuck share's value no longer matches the
+  // checksum its writer stored, so it is EXCLUDED from the
+  // interpolation like an erasure and the surviving 7 >= b shares
+  // recover the true block — a masked fault instead of a silent lie.
+  ida::IdaMemoryConfig config{.b = 4, .d = 8, .n_modules = 32, .seed = 23};
+  config.check_shares = true;
+  ida::IdaMemory memory(64, config);
+  // Detection is bought with one checksum word per share: 2d/b storage.
+  EXPECT_DOUBLE_EQ(memory.storage_redundancy(), 4.0);
+  CraftedHooks hooks;
+  hooks.stuck.insert(0 * 64 + 0);  // block 0, share 0 stuck
+  ASSERT_TRUE(memory.set_fault_hooks(&hooks));
+  write_one(memory, VarId(1), 4242);
+  EXPECT_EQ(read_one(memory, VarId(1)), 4242);
+  EXPECT_GE(memory.reliability().faults_masked, 1u);
+  EXPECT_EQ(memory.reliability().uncorrectable, 0u);
+}
+
+TEST(IdaFaults, CheckSharesFlagOutageWhenTooFewSharesVerify) {
+  // d-b+1 stuck shares: detection rejects them all, fewer than b clean
+  // shares remain, and the block is a FLAGGED outage — degraded
+  // honestly, never silently.
+  ida::IdaMemoryConfig config{.b = 4, .d = 8, .n_modules = 32, .seed = 23};
+  config.check_shares = true;
+  ida::IdaMemory memory(64, config);
+  CraftedHooks hooks;
+  for (std::uint32_t j = 0; j < config.d - config.b + 1; ++j) {
+    hooks.stuck.insert(0 * 64 + j);
+  }
+  ASSERT_TRUE(memory.set_fault_hooks(&hooks));
+  write_one(memory, VarId(1), 4242);
+  EXPECT_EQ(read_one(memory, VarId(1)), 0);
+  EXPECT_GE(memory.reliability().uncorrectable, 1u);
+}
+
+TEST(IdaFaults, CheckSharesEliminateWrongReadsUnderCorruption) {
+  // The ROADMAP quantification, as a gate: under silent write
+  // corruption the bare IDA scheme lies (the oracle counts wrong
+  // reads); with share checksums every corrupted share is detected on
+  // decode, so reads are correct or flagged — wrong_reads drops to 0.
+  const faults::FaultSpec corruption{.seed = 7, .corruption_rate = 0.3};
+  const core::StressOptions stress{.steps_per_family = 3, .seed = 11,
+                                   .trials = 2};
+  core::SimulationPipeline bare(
+      {.kind = core::SchemeKind::kIda, .n = 16, .seed = 33});
+  core::SimulationPipeline checked({.kind = core::SchemeKind::kIda,
+                                    .n = 16,
+                                    .seed = 33,
+                                    .ida_check_shares = true});
+  const auto bare_run = bare.run_with_faults(corruption, stress);
+  const auto checked_run = checked.run_with_faults(corruption, stress);
+  EXPECT_GT(bare_run.reliability.wrong_reads, 0u);
+  EXPECT_EQ(checked_run.reliability.wrong_reads, 0u);
+  EXPECT_GT(checked_run.reliability.corrupt_stores, 0u);
+}
+
+TEST(IdaFaults, CheckSharesTransparentWhenHealthy) {
+  // No hooks: checksums are written and never consulted — values match
+  // the bare scheme bit-for-bit.
+  ida::IdaMemoryConfig config{.b = 4, .d = 8, .n_modules = 32, .seed = 23};
+  ida::IdaMemory bare(64, config);
+  config.check_shares = true;
+  ida::IdaMemory checked(64, config);
+  for (std::uint32_t v = 0; v < 64; v += 3) {
+    write_one(bare, VarId(v), 1000 + v);
+    write_one(checked, VarId(v), 1000 + v);
+  }
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    ASSERT_EQ(read_one(bare, VarId(v)), read_one(checked, VarId(v))) << v;
+  }
+}
+
 // ---------------------------------------- single-copy fragility ---------
 
 TEST(SingleCopyFaults, HashedBaselineLosesDeadModuleAddressRange) {

@@ -4,6 +4,12 @@
 // AND the default step() adapter — must stay value-equivalent to the
 // legacy step() path for every SchemeKind, including wrapped in
 // faults::FaultableMemory at fault rate 0.
+//
+// Engine API v2 additions gated here too: serve(plan, ctx) under the
+// kGroupParallel backend must be value-equivalent to step() AND
+// bit-identical to the serial backend at any executor worker count, and
+// per-read outage flags must reach ServeContext identically on every
+// path (native serve, default adapter, FaultableMemory wrapper).
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -16,7 +22,9 @@
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
 #include "faults/faultable_memory.hpp"
+#include "pram/serve_context.hpp"
 #include "pram/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace pramsim {
@@ -204,6 +212,249 @@ INSTANTIATE_TEST_SUITE_P(EverySchemeKind, PlanServeTest,
                            }
                            return name;
                          });
+
+/// Restore the automatic worker policy even when an assertion fails.
+struct WorkerOverrideGuard {
+  ~WorkerOverrideGuard() { util::set_parallel_workers_override(0); }
+};
+
+// ----- Engine API v2: ServeContext + group-parallel backend ------------
+
+// For EVERY SchemeKind, the kGroupParallel backend (downgraded to serial
+// by schemes without the capability) must stay value-equivalent to the
+// legacy step() path when served through the context entry with a live
+// executor fanning groups across workers.
+TEST_P(PlanServeTest, GroupParallelServeMatchesStep) {
+  WorkerOverrideGuard guard;
+  util::set_parallel_workers_override(4);
+  const std::uint32_t n = 16;
+  core::SchemeSpec spec{.kind = GetParam(), .n = n, .seed = 5};
+  spec.backend = pram::ServeBackend::kGroupParallel;
+  auto via_serve = core::make_scheme(spec);
+  auto via_step = core::make_memory(spec);
+
+  util::Rng rng(23);
+  util::Executor executor;
+  pram::ServeContext ctx({}, &executor);
+  core::PlanBuilder builder;
+  const std::uint64_t m = via_serve.memory->size();
+  for (int s = 0; s < 12; ++s) {
+    const auto family = s % 2 == 0 ? pram::TraceFamily::kUniform
+                                   : pram::TraceFamily::kPermutation;
+    auto family_rng = rng.split();
+    const auto batch = pram::make_batch(family, n, m, family_rng);
+    const auto& plan = builder.build(batch, *via_serve.memory);
+    std::vector<pram::Word> serve_values(plan.reads.size());
+    std::vector<pram::Word> step_values(plan.reads.size());
+    ctx.bind(serve_values);
+    via_serve.memory->serve(plan, ctx);
+    via_step->step(plan.reads, step_values, plan.writes);
+    for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+      ASSERT_EQ(serve_values[i], step_values[i])
+          << core::to_string(GetParam()) << " step " << s << " read " << i;
+    }
+  }
+  for (std::uint32_t v = 0; v < 2 * n; ++v) {
+    ASSERT_EQ(via_serve.memory->peek(VarId(v)), via_step->peek(VarId(v)))
+        << core::to_string(GetParam()) << " cell " << v;
+  }
+}
+
+// The schemes shipping native group-parallel serve must actually engage
+// it (capability + plan groups), and the backend must be bit-identical
+// to the serial backend at every worker count — values, committed state,
+// reliability telemetry, and outage flags — healthy AND degraded.
+class GroupParallelBackendTest
+    : public ::testing::TestWithParam<core::SchemeKind> {};
+
+void drive_backend(core::SchemeSpec spec, pram::ServeBackend backend,
+                   std::size_t workers, const faults::FaultModel* hooks,
+                   std::vector<pram::Word>& all_values,
+                   std::vector<std::uint8_t>& all_flags,
+                   pram::ReliabilityStats& stats,
+                   std::vector<pram::Word>& final_cells) {
+  WorkerOverrideGuard guard;
+  util::set_parallel_workers_override(workers);
+  spec.backend = backend;
+  auto memory = core::make_memory(spec);
+  if (backend == pram::ServeBackend::kGroupParallel) {
+    ASSERT_TRUE(memory->capabilities() & pram::kGroupParallel)
+        << core::to_string(spec.kind);
+    ASSERT_TRUE(memory->wants_plan_groups());
+  }
+  if (hooks != nullptr) {
+    ASSERT_TRUE(memory->set_fault_hooks(hooks));
+  }
+  util::Rng rng(31);
+  util::Executor executor;
+  pram::ServeContext ctx({}, &executor);
+  core::PlanBuilder builder;
+  std::vector<pram::Word> values;
+  for (int s = 0; s < 10; ++s) {
+    const auto batch = pram::make_batch(pram::TraceFamily::kUniform,
+                                        spec.n, memory->size(), rng);
+    const auto& plan = builder.build(batch, *memory);
+    values.resize(plan.reads.size());
+    ctx.bind(values);
+    memory->serve(plan, ctx);
+    all_values.insert(all_values.end(), values.begin(), values.end());
+    if (ctx.flags().empty()) {
+      all_flags.insert(all_flags.end(), plan.reads.size(), 0);
+    } else {
+      all_flags.insert(all_flags.end(), ctx.flags().begin(),
+                       ctx.flags().end());
+    }
+    // The legacy accessor must mirror the context on every path.
+    const auto legacy = memory->flagged_reads();
+    ASSERT_EQ(legacy.size(), ctx.flags().size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      ASSERT_EQ(legacy[i] != 0, ctx.flags()[i] != 0);
+    }
+  }
+  stats = memory->reliability();
+  for (std::uint32_t v = 0; v < 4 * spec.n; ++v) {
+    final_cells.push_back(memory->peek(VarId(v)));
+  }
+}
+
+TEST_P(GroupParallelBackendTest, BitIdenticalToSerialAtAnyWorkerCount) {
+  const core::SchemeSpec spec{.kind = GetParam(), .n = 16, .seed = 7};
+  const faults::FaultSpec fault_spec{.seed = 99, .module_kill_rate = 0.4,
+                                     .stuck_rate = 0.05,
+                                     .corruption_rate = 0.2};
+  for (const bool faulty : {false, true}) {
+    const auto n_modules = core::make_memory(spec)->num_modules();
+    const faults::FaultModel model(fault_spec, n_modules);
+    const faults::FaultModel* hooks = faulty ? &model : nullptr;
+
+    std::vector<pram::Word> serial_values, gp1_values, gp4_values;
+    std::vector<std::uint8_t> serial_flags, gp1_flags, gp4_flags;
+    pram::ReliabilityStats serial_stats, gp1_stats, gp4_stats;
+    std::vector<pram::Word> serial_cells, gp1_cells, gp4_cells;
+    drive_backend(spec, pram::ServeBackend::kSerial, 1, hooks,
+                  serial_values, serial_flags, serial_stats, serial_cells);
+    drive_backend(spec, pram::ServeBackend::kGroupParallel, 1, hooks,
+                  gp1_values, gp1_flags, gp1_stats, gp1_cells);
+    drive_backend(spec, pram::ServeBackend::kGroupParallel, 4, hooks,
+                  gp4_values, gp4_flags, gp4_stats, gp4_cells);
+
+    EXPECT_EQ(serial_values, gp1_values) << (faulty ? "faulty" : "healthy");
+    EXPECT_EQ(serial_values, gp4_values) << (faulty ? "faulty" : "healthy");
+    EXPECT_EQ(serial_flags, gp1_flags);
+    EXPECT_EQ(serial_flags, gp4_flags);
+    EXPECT_EQ(serial_cells, gp1_cells);
+    EXPECT_EQ(serial_cells, gp4_cells);
+    EXPECT_EQ(serial_stats.reads_served, gp4_stats.reads_served);
+    EXPECT_EQ(serial_stats.faults_masked, gp4_stats.faults_masked);
+    EXPECT_EQ(serial_stats.uncorrectable, gp4_stats.uncorrectable);
+    EXPECT_EQ(serial_stats.erasures_skipped, gp4_stats.erasures_skipped);
+    EXPECT_EQ(serial_stats.units_faulty, gp4_stats.units_faulty);
+    EXPECT_EQ(serial_stats.writes_dropped, gp4_stats.writes_dropped);
+    EXPECT_EQ(serial_stats.corrupt_stores, gp4_stats.corrupt_stores);
+    if (faulty) {
+      EXPECT_GT(serial_stats.reads_served, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NativeGroupParallelSchemes,
+                         GroupParallelBackendTest,
+                         ::testing::Values(core::SchemeKind::kDmmpc,
+                                           core::SchemeKind::kUwMpc,
+                                           core::SchemeKind::kHpMot,
+                                           core::SchemeKind::kHashed),
+                         [](const ::testing::TestParamInfo<core::SchemeKind>&
+                                info) {
+                           std::string name = core::to_string(info.param);
+                           for (auto& ch : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Regression for the flagged_reads migration: reads under erasure served
+// through serve(plan, ctx) must be flagged exactly as the step() path
+// flags them — for the native serve overrides AND through the
+// FaultableMemory wrapper (whose pre-v2 serve path computed flags
+// internally and dropped them).
+TEST(ServeContextFlags, ErasureFlagsIdenticalOnServeAndStepPaths) {
+  const std::uint32_t n = 16;
+  const faults::FaultSpec fault_spec{.seed = 99, .module_kill_rate = 0.6};
+  for (const auto kind :
+       {core::SchemeKind::kDmmpc, core::SchemeKind::kIda,
+        core::SchemeKind::kHashed}) {
+    const core::SchemeSpec spec{.kind = kind, .n = n, .seed = 5};
+    // Native path: hooks installed directly on both instances.
+    auto via_serve = core::make_memory(spec);
+    auto via_step = core::make_memory(spec);
+    const faults::FaultModel model(fault_spec, via_serve->num_modules());
+    ASSERT_TRUE(via_serve->set_fault_hooks(&model));
+    ASSERT_TRUE(via_step->set_fault_hooks(&model));
+
+    util::Rng rng(41);
+    pram::ServeContext ctx;
+    core::PlanBuilder builder;
+    std::uint64_t flagged_total = 0;
+    for (int s = 0; s < 8; ++s) {
+      const auto batch = pram::make_batch(pram::TraceFamily::kUniform, n,
+                                          via_serve->size(), rng);
+      const auto& plan = builder.build(batch, *via_serve);
+      std::vector<pram::Word> serve_values(plan.reads.size());
+      std::vector<pram::Word> step_values(plan.reads.size());
+      ctx.bind(serve_values);
+      via_serve->serve(plan, ctx);
+      via_step->step(plan.reads, step_values, plan.writes);
+      const auto step_flags = via_step->flagged_reads();
+      ASSERT_EQ(ctx.flags().size(), step_flags.size())
+          << core::to_string(kind) << " step " << s;
+      for (std::size_t i = 0; i < step_flags.size(); ++i) {
+        ASSERT_EQ(ctx.flags()[i] != 0, step_flags[i] != 0)
+            << core::to_string(kind) << " step " << s << " read " << i;
+        flagged_total += step_flags[i] != 0 ? 1 : 0;
+      }
+    }
+    // A 60% module kill must flag something, or the test tests nothing.
+    EXPECT_GT(flagged_total, 0u) << core::to_string(kind);
+  }
+}
+
+TEST(ServeContextFlags, WrapperExposesFlagsThroughServeContext) {
+  const std::uint32_t n = 16;
+  const faults::FaultSpec fault_spec{.seed = 7, .module_kill_rate = 0.8};
+  for (const auto kind :
+       {core::SchemeKind::kDmmpc, core::SchemeKind::kHashed,
+        core::SchemeKind::kRanade}) {
+    const core::SchemeSpec spec{.kind = kind, .n = n, .seed = 5};
+    faults::FaultableMemory via_serve(core::make_memory(spec), fault_spec);
+    faults::FaultableMemory via_step(core::make_memory(spec), fault_spec);
+
+    util::Rng rng(43);
+    pram::ServeContext ctx;
+    core::PlanBuilder builder;
+    std::uint64_t flagged_total = 0;
+    for (int s = 0; s < 8; ++s) {
+      const auto batch = pram::make_batch(pram::TraceFamily::kUniform, n,
+                                          via_serve.size(), rng);
+      const auto& plan = builder.build(batch, via_serve);
+      std::vector<pram::Word> serve_values(plan.reads.size());
+      std::vector<pram::Word> step_values(plan.reads.size());
+      ctx.bind(serve_values);
+      via_serve.serve(plan, ctx);
+      via_step.step(plan.reads, step_values, plan.writes);
+      const auto step_flags = via_step.flagged_reads();
+      ASSERT_EQ(ctx.flags().size(), step_flags.size());
+      for (std::size_t i = 0; i < step_flags.size(); ++i) {
+        ASSERT_EQ(ctx.flags()[i] != 0, step_flags[i] != 0)
+            << core::to_string(kind) << " step " << s << " read " << i;
+        flagged_total += step_flags[i] != 0 ? 1 : 0;
+      }
+    }
+    EXPECT_GT(flagged_total, 0u) << core::to_string(kind);
+  }
+}
 
 }  // namespace
 }  // namespace pramsim
