@@ -75,6 +75,7 @@ Throughput measure(const core::SchemeSpec& spec,
   }
 
   std::vector<pram::Word> values;
+  pram::ServeContext ctx;
   auto run = [&](pram::MemorySystem& memory, bool plan_path) {
     std::size_t steps = 0;
     const auto start = Clock::now();
@@ -83,7 +84,8 @@ Throughput measure(const core::SchemeSpec& spec,
       for (const auto* plan : plans) {
         values.resize(plan->reads.size());
         if (plan_path) {
-          memory.serve(*plan, values);
+          ctx.bind(values);
+          memory.serve(*plan, ctx);
         } else {
           // The legacy adapter body, spelled out: forward the combined
           // lists to step(), which redoes its own dedup/grouping.
@@ -99,7 +101,8 @@ Throughput measure(const core::SchemeSpec& spec,
   // Warm both instances once (first-touch allocations, sparse stores).
   for (const auto* plan : plans) {
     values.resize(plan->reads.size());
-    native->serve(*plan, values);
+    ctx.bind(values);
+    native->serve(*plan, ctx);
     legacy->step(plan->reads, values, plan->writes);
   }
   out.legacy_steps_per_sec = run(*legacy, /*plan_path=*/false);
@@ -167,14 +170,16 @@ int main() {
       "kDmmpc or kHashed at n = 2^12 (auto worker policy)");
 
   {
-    util::Table table({"scheme", "n", "m", "steps/s legacy", "steps/s plan",
-                       "speedup"});
+    util::Table table({"scheme", "n", "m", "region w", "steps/s legacy",
+                       "steps/s plan", "speedup"});
     table.set_title("per-step serve throughput, prebuilt plans "
-                    "(permutation+uniform traffic)");
+                    "(permutation+uniform traffic; region w = storage "
+                    "granularity in words, 1 = classic layout)");
     struct Config {
       core::SchemeKind kind;
       std::uint32_t n;
       double budget;
+      std::uint32_t region = 1;
     };
     std::vector<Config> configs;
     for (const auto kind : core::all_scheme_kinds()) {
@@ -184,10 +189,15 @@ int main() {
     // speed up >= 2x, at production-ish scale.
     configs.push_back({core::SchemeKind::kDmmpc, 4096, 0.5});
     configs.push_back({core::SchemeKind::kHashed, 4096, 0.5});
+    // Region-granular storage rows (same traffic, wide rows): the value
+    // phases run the bulk memcmp-vote / GF(256)-span paths.
+    configs.push_back({core::SchemeKind::kDmmpc, 4096, 0.5, 64});
+    configs.push_back({core::SchemeKind::kIda, 256, 0.2, 64});
 
     for (const auto& config : configs) {
       const core::SchemeSpec spec{.kind = config.kind, .n = config.n,
-                                  .seed = 3};
+                                  .seed = 3,
+                                  .region_words = config.region};
       const auto instance = core::make_scheme(spec);
       const std::size_t steps = config.n >= 4096 ? 8 : 16;
       const auto trace = make_bench_trace(config.n, instance.m, steps);
@@ -195,6 +205,7 @@ int main() {
       table.add_row({core::to_string(config.kind),
                      static_cast<std::int64_t>(config.n),
                      static_cast<std::int64_t>(instance.m),
+                     static_cast<std::int64_t>(instance.region_words),
                      t.legacy_steps_per_sec, t.plan_steps_per_sec,
                      t.plan_steps_per_sec / t.legacy_steps_per_sec});
       std::fflush(stdout);
@@ -208,9 +219,9 @@ int main() {
     // Group-parallel wins twice — the precomputed groups replace the
     // per-request placement hashing in the load loop, and the value
     // phase fans across the parked worker pool.
-    util::Table table({"scheme", "n", "steps/s serial", "steps/s gp",
-                       "gp / serial", "steps/s gp w1", "steps/s gp w2",
-                       "steps/s gp w4"});
+    util::Table table({"scheme", "n", "region w", "steps/s serial",
+                       "steps/s gp", "gp / serial", "steps/s gp 1wk",
+                       "steps/s gp 2wk", "steps/s gp 4wk"});
     table.set_title("group-parallel serve backend (plan module groups "
                     "fanned across ServeContext executor workers; 'gp' = "
                     "hardware-aware auto policy, wN = forced N workers)");
@@ -218,15 +229,20 @@ int main() {
       core::SchemeKind kind;
       std::uint32_t n;
       double budget;
+      std::uint32_t region = 1;
     };
     const std::vector<Config> configs = {
         {core::SchemeKind::kDmmpc, 256, 0.2},
         {core::SchemeKind::kHashed, 256, 0.2},
         {core::SchemeKind::kDmmpc, 4096, 0.4},
         {core::SchemeKind::kHashed, 4096, 0.4},
+        // Width sweep: backend x region granularity on the same traffic.
+        {core::SchemeKind::kDmmpc, 4096, 0.4, 8},
+        {core::SchemeKind::kDmmpc, 4096, 0.4, 64},
     };
     for (const auto& config : configs) {
-      core::SchemeSpec spec{.kind = config.kind, .n = config.n, .seed = 3};
+      core::SchemeSpec spec{.kind = config.kind, .n = config.n, .seed = 3,
+                            .region_words = config.region};
       const auto instance = core::make_scheme(spec);
       const std::size_t steps = config.n >= 4096 ? 8 : 16;
       const auto trace = make_bench_trace(config.n, instance.m, steps);
@@ -238,8 +254,9 @@ int main() {
       const double gp2 = measure_backend(spec, trace, 2, config.budget);
       const double gp4 = measure_backend(spec, trace, 4, config.budget);
       table.add_row({core::to_string(config.kind),
-                     static_cast<std::int64_t>(config.n), serial, gp_auto,
-                     gp_auto / serial, gp1, gp2, gp4});
+                     static_cast<std::int64_t>(config.n),
+                     static_cast<std::int64_t>(instance.region_words),
+                     serial, gp_auto, gp_auto / serial, gp1, gp2, gp4});
       std::fflush(stdout);
     }
     reporter.table(table, 1);

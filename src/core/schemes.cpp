@@ -56,11 +56,13 @@ double effective_eps(std::uint32_t n, std::uint64_t n_modules) {
 }
 
 /// Wrap a majority access engine into the unified memory interface and
-/// keep the protocol-introspection view alive.
+/// keep the protocol-introspection view alive. Reads the instance's
+/// (already clamped) region_words so every replicated kind honors the
+/// spec's storage-granularity knob through one seam.
 void install_engine(SchemeInstance& inst,
                     std::unique_ptr<majority::AccessEngine> engine) {
-  auto memory =
-      std::make_unique<majority::MajorityMemory>(std::move(engine));
+  auto memory = std::make_unique<majority::MajorityMemory>(
+      std::move(engine), inst.region_words);
   inst.engine = &memory->engine();
   inst.memory = std::move(memory);
 }
@@ -73,6 +75,7 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
   inst.kind = spec.kind;
   inst.name = to_string(spec.kind);
   inst.m = vars_for(spec);
+  inst.region_words = std::max<std::uint32_t>(spec.region_words, 1);
   inst.guarantee = "deterministic worst-case";
 
   const double nd = spec.n;
@@ -301,13 +304,20 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
                   std::numeric_limits<std::uint32_t>::max()}));
       inst.n_modules = static_cast<std::uint32_t>(M64);
       inst.eps_effective = effective_eps(spec.n, inst.n_modules);
+      // The word-granularity knob lands here in BLOCKS (a region spans
+      // whole blocks); region_words below b collapses to the classic
+      // one-row-per-block layout.
+      const std::uint32_t region_blocks =
+          std::max<std::uint32_t>(inst.region_words / block, 1);
+      inst.region_words = region_blocks * block;
       inst.memory = std::make_unique<ida::IdaMemory>(
           inst.m, ida::IdaMemoryConfig{.b = block,
                                        .d = d,
                                        .n_modules = inst.n_modules,
                                        .seed = spec.seed,
                                        .check_shares =
-                                           spec.ida_check_shares});
+                                           spec.ida_check_shares,
+                                       .region_blocks = region_blocks});
       if (spec.ida_check_shares) {
         inst.name += "+ck";  // share checksums: detection bought with 2x
       }
@@ -319,6 +329,7 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
     case SchemeKind::kHashed: {
       inst.n_modules = spec.n;  // the MPC: one module per processor
       inst.eps_effective = 0.0;
+      inst.region_words = 1;  // single-copy hashing has no region layout
       inst.memory = std::make_unique<hashing::MvMemory>(
           inst.m, hashing::MvMemoryConfig{.n_modules = inst.n_modules,
                                           .k_wise = 2,

@@ -90,6 +90,15 @@ struct SchemeSpec {
   /// bad shares become erasures instead of silent block poison); doubles
   /// the scheme's storage factor. See ida::IdaMemoryConfig::check_shares.
   bool ida_check_shares = false;
+  /// Storage region granularity in WORDS, clamped to >= 1. 1 (the
+  /// default) is the classic word-at-a-time layout, bit-identical to the
+  /// pre-region code. Wider regions store each copy's slice of
+  /// region_words consecutive variables contiguously (majority kinds:
+  /// CopyStore region rows; kIda: region_words / b blocks per region
+  /// row, at least 1) so the value phases run bulk memcmp votes and
+  /// GF(256) span recodes. Purely a storage/throughput knob: values,
+  /// costs, and fault semantics are identical at every width.
+  std::uint32_t region_words = 1;
 };
 
 /// A fully assembled scheme behind the unified engine interface: the
@@ -113,6 +122,7 @@ struct SchemeInstance {
   std::uint32_t n_modules = 0;   ///< M
   std::uint32_t c = 0;           ///< access threshold (0: no majority rule)
   std::uint32_t r = 0;           ///< copies per variable (0: not replicated)
+  std::uint32_t region_words = 1;  ///< storage granularity actually in effect
   double storage_factor = 1.0;   ///< storage blow-up vs flat memory
   double eps_effective = 0.0;    ///< log2(M)/log2(n) - 1 actually realized
   std::uint64_t switches = 0;    ///< extra network nodes (0 for MPC/DMMPC)

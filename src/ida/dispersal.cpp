@@ -1,6 +1,7 @@
 #include "ida/dispersal.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/assert.hpp"
 
@@ -12,6 +13,15 @@ Disperser::Disperser(IdaParams params) : params_(params) {
   // Evaluation points are the d distinct nonzero elements alpha^0..alpha^(d-1);
   // they repeat after 255.
   PRAMSIM_ASSERT_MSG(params_.d <= 255, "GF(256) supports at most 255 shares");
+  // Generator matrix for the bulk codec: share i is the polynomial
+  // evaluated at alpha^i, i.e. the dot product of the block with row i.
+  gen_.resize(static_cast<std::size_t>(params_.d) * params_.b);
+  for (std::uint32_t i = 0; i < params_.d; ++i) {
+    for (std::uint32_t j = 0; j < params_.b; ++j) {
+      gen_[static_cast<std::size_t>(i) * params_.b + j] =
+          GF256::alpha_pow(i * j);
+    }
+  }
 }
 
 std::vector<GF256::Elem> Disperser::encode_bytes(
@@ -105,6 +115,120 @@ std::vector<pram::Word> Disperser::encode_words(
     }
   }
   return shares;
+}
+
+void Disperser::recovery_matrix_into(std::span<const std::uint32_t> indices,
+                                     std::vector<GF256::Elem>& out) const {
+  const std::uint32_t b = params_.b;
+  PRAMSIM_ASSERT(indices.size() == b);
+  // Same construction as recover_bytes, with the value-independent
+  // factors folded into one matrix: entry (k, j) = numer_j[k] / denom_j,
+  // so coeffs = M * values reproduces the interpolation exactly (field
+  // arithmetic is exact; only the per-value work moved out of the loop).
+  std::vector<GF256::Elem> xs(b);
+  for (std::uint32_t j = 0; j < b; ++j) {
+    PRAMSIM_ASSERT(indices[j] < params_.d);
+    xs[j] = GF256::alpha_pow(indices[j]);
+  }
+  std::vector<GF256::Elem> master(b + 1, 0);
+  master[0] = 1;
+  for (std::uint32_t j = 0; j < b; ++j) {
+    for (std::uint32_t k = j + 1; k-- > 0;) {
+      const GF256::Elem shifted = master[k];
+      master[k + 1] = GF256::add(master[k + 1], shifted);
+      master[k] = GF256::mul(master[k], xs[j]);
+    }
+  }
+  out.assign(static_cast<std::size_t>(b) * b, 0);
+  std::vector<GF256::Elem> numer(b, 0);
+  for (std::uint32_t j = 0; j < b; ++j) {
+    GF256::Elem carry = master[b];
+    for (std::uint32_t k = b; k-- > 0;) {
+      numer[k] = carry;
+      carry = GF256::add(master[k], GF256::mul(carry, xs[j]));
+    }
+    GF256::Elem denom = 0;
+    for (std::uint32_t k = b; k-- > 0;) {
+      denom = GF256::add(GF256::mul(denom, xs[j]), numer[k]);
+    }
+    for (std::uint32_t k = 0; k < b; ++k) {
+      out[static_cast<std::size_t>(k) * b + j] = GF256::div(numer[k], denom);
+    }
+  }
+}
+
+void Disperser::encode_regions(const pram::Word* blocks, std::uint32_t count,
+                               pram::Word* shares, std::size_t stride) const {
+  PRAMSIM_ASSERT(count >= 1 && stride >= count);
+  const std::uint32_t b = params_.b;
+  const std::size_t span_bytes =
+      static_cast<std::size_t>(count) * sizeof(pram::Word);
+  // Transpose the block-major input into b contiguous word spans so each
+  // linear-combination step streams one span (byte lanes of a word are
+  // independent GF(256) streams, so spans need no lane structure).
+  span_scratch_.resize(static_cast<std::size_t>(b) * count);
+  for (std::uint32_t t = 0; t < count; ++t) {
+    for (std::uint32_t j = 0; j < b; ++j) {
+      span_scratch_[static_cast<std::size_t>(j) * count + t] =
+          blocks[static_cast<std::size_t>(t) * b + j];
+    }
+  }
+  const auto* in_bytes =
+      reinterpret_cast<const std::uint8_t*>(span_scratch_.data());
+  for (std::uint32_t i = 0; i < params_.d; ++i) {
+    pram::Word* out = shares + static_cast<std::size_t>(i) * stride;
+    std::memset(out, 0, span_bytes);
+    auto* out_bytes = reinterpret_cast<std::uint8_t*>(out);
+    for (std::uint32_t j = 0; j < b; ++j) {
+      GF256::mul_span_accum(out_bytes, in_bytes + j * span_bytes, span_bytes,
+                            gen_[static_cast<std::size_t>(i) * b + j]);
+    }
+  }
+}
+
+void Disperser::decode_regions(std::span<const std::uint32_t> indices,
+                               const pram::Word* shares, std::size_t stride,
+                               std::uint32_t count,
+                               pram::Word* blocks_out) const {
+  PRAMSIM_ASSERT(count >= 1 && stride >= count);
+  const std::uint32_t b = params_.b;
+  PRAMSIM_ASSERT(indices.size() == b);
+  bool healthy = true;
+  for (std::uint32_t j = 0; j < b && healthy; ++j) {
+    healthy = indices[j] == j;
+  }
+  const std::vector<GF256::Elem>* matrix;
+  if (healthy) {
+    if (healthy_matrix_.empty()) {
+      recovery_matrix_into(indices, healthy_matrix_);
+    }
+    matrix = &healthy_matrix_;
+  } else {
+    recovery_matrix_into(indices, matrix_scratch_);
+    matrix = &matrix_scratch_;
+  }
+  const std::size_t span_bytes =
+      static_cast<std::size_t>(count) * sizeof(pram::Word);
+  span_scratch_.resize(static_cast<std::size_t>(b) * count);
+  auto* out_bytes = reinterpret_cast<std::uint8_t*>(span_scratch_.data());
+  for (std::uint32_t k = 0; k < b; ++k) {
+    std::uint8_t* out_k = out_bytes + k * span_bytes;
+    std::memset(out_k, 0, span_bytes);
+    for (std::uint32_t j = 0; j < b; ++j) {
+      GF256::mul_span_accum(
+          out_k,
+          reinterpret_cast<const std::uint8_t*>(
+              shares + static_cast<std::size_t>(j) * stride),
+          span_bytes, (*matrix)[static_cast<std::size_t>(k) * b + j]);
+    }
+  }
+  // Transpose the word-major scratch back into block-major output.
+  for (std::uint32_t t = 0; t < count; ++t) {
+    for (std::uint32_t k = 0; k < b; ++k) {
+      blocks_out[static_cast<std::size_t>(t) * b + k] =
+          span_scratch_[static_cast<std::size_t>(k) * count + t];
+    }
+  }
 }
 
 std::vector<pram::Word> Disperser::recover_words(

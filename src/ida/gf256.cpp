@@ -31,4 +31,22 @@ const std::array<std::uint8_t, 256>& GF256::log_table() {
   return kTables.log;
 }
 
+const GF256::Elem* GF256::mul_row(Elem c) {
+  // 64 KiB product table, built once from the exp/log tables. Row-major
+  // by the constant, so one span-multiply touches one contiguous row.
+  static const std::array<Elem, 256 * 256> kMul = [] {
+    std::array<Elem, 256 * 256> table{};
+    for (std::uint32_t a = 1; a < 256; ++a) {
+      for (std::uint32_t b = 1; b < 256; ++b) {
+        const std::uint32_t idx =
+            (static_cast<std::uint32_t>(kTables.log[a]) + kTables.log[b]) %
+            255u;
+        table[a * 256 + b] = kTables.exp[idx];
+      }
+    }
+    return table;
+  }();
+  return kMul.data() + static_cast<std::size_t>(c) * 256;
+}
+
 }  // namespace pramsim::ida

@@ -68,6 +68,37 @@ class GF256 {
     return exp_table()[i % 255];
   }
 
+  // ----- table-sliced span arithmetic (bulk encode/decode) -----
+  //
+  // A linear-combination step over a span multiplies every byte by ONE
+  // field constant c. Slicing the 256x256 product table by c turns the
+  // inner loop into a single table load per byte — no log/exp lookups,
+  // no mod-255 — and the c == 0 / c == 1 rows degenerate to a skip and a
+  // plain (auto-vectorizable) xor.
+
+  /// Row c of the full multiplication table: mul_row(c)[x] == c * x.
+  [[nodiscard]] static const Elem* mul_row(Elem c);
+
+  /// dst[i] ^= c * src[i] for i in [0, n): the accumulating step of a
+  /// GF(256) matrix-vector product over byte spans. dst and src must not
+  /// overlap unless they are equal ranges.
+  static void mul_span_accum(Elem* dst, const Elem* src, std::size_t n,
+                             Elem c) {
+    if (c == 0) {
+      return;
+    }
+    if (c == 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] ^= src[i];
+      }
+      return;
+    }
+    const Elem* row = mul_row(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] ^= row[src[i]];
+    }
+  }
+
  private:
   static constexpr std::uint32_t kPoly = 0x11D;
 

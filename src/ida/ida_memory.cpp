@@ -18,17 +18,24 @@ IdaMemory::IdaMemory(std::uint64_t m_vars, IdaMemoryConfig config)
       n_blocks_(util::ceil_div(m_vars, config.b)),
       placement_(n_blocks_, config.n_modules, config.d, config.seed) {
   PRAMSIM_ASSERT(config_.n_modules >= config_.d);
+  config_.region_blocks = std::max<std::uint32_t>(config_.region_blocks, 1);
+  n_regions_ = util::ceil_div(n_blocks_, config_.region_blocks);
+  // Region-row geometry (see the header): d share spans of R words, the
+  // matching checksum spans when check_shares, then the written-block
+  // flag bits.
+  const std::size_t R = config_.region_blocks;
+  flag_base_ = static_cast<std::size_t>(config_.d) * R *
+               (config_.check_shares ? 2 : 1);
+  row_words_ = flag_base_ + (R + 63) / 64;
   // One encoding of the all-zero block serves every untouched block, so
-  // construction is O(d) regardless of m (sparse storage). check_shares
-  // rows carry the d checksum words after the d shares.
+  // construction is O(d) regardless of m (sparse storage).
   const std::vector<pram::Word> zero_block(config_.b, 0);
   zero_shares_ = disperser_.encode_words(zero_block);
-  if (config_.check_shares) {
-    zero_shares_.resize(2 * config_.d);
-    for (std::uint32_t j = 0; j < config_.d; ++j) {
-      zero_shares_[config_.d + j] = 0;  // per-block salt applied on read
-    }
+  identity_indices_.resize(config_.b);
+  for (std::uint32_t j = 0; j < config_.b; ++j) {
+    identity_indices_[j] = j;
   }
+  encode_scratch_.resize(config_.d);
 }
 
 pram::Word IdaMemory::share_checksum(std::uint64_t block, std::uint32_t j,
@@ -38,20 +45,54 @@ pram::Word IdaMemory::share_checksum(std::uint64_t block, std::uint32_t j,
   return mix.next();
 }
 
+std::vector<pram::Word>& IdaMemory::region_row(std::uint64_t block) {
+  const auto [it, fresh] = shares_.try_emplace(region_of_block(block));
+  if (fresh) {
+    auto& row = it->second;
+    row.assign(row_words_, 0);
+    // Every block slot starts as the shared zero encoding; checksums and
+    // written-block flags stay 0 (checksum_at falls back to the salted
+    // zero checksum for blocks whose flag is still clear).
+    const std::size_t R = config_.region_blocks;
+    for (std::uint32_t s = 0; s < config_.d; ++s) {
+      std::fill_n(row.begin() + static_cast<std::ptrdiff_t>(s * R), R,
+                  zero_shares_[s]);
+    }
+  }
+  return it->second;
+}
+
+bool IdaMemory::block_written(std::uint64_t block) const {
+  const auto it = shares_.find(region_of_block(block));
+  if (it == shares_.end()) {
+    return false;
+  }
+  const std::uint64_t t = block % config_.region_blocks;
+  const auto bits =
+      static_cast<std::uint64_t>(it->second[flag_base_ + t / 64]);
+  return ((bits >> (t % 64)) & 1ULL) != 0;
+}
+
 pram::Word IdaMemory::checksum_at(std::uint64_t block,
                                   std::uint32_t j) const {
-  const auto it = shares_.find(block);
-  if (it == shares_.end()) {
-    // Untouched block: the stored checksum is, by definition, the one
+  if (!block_written(block)) {
+    // Unwritten block: the stored checksum is, by definition, the one
     // the zero encoding's writer would have computed.
     return share_checksum(block, j, zero_shares_[j]);
   }
-  return it->second[config_.d + j];
+  const auto& row = shares_.at(region_of_block(block));
+  const std::size_t R = config_.region_blocks;
+  return row[static_cast<std::size_t>(config_.d) * R +
+             static_cast<std::size_t>(j) * R + block % R];
 }
 
 pram::Word IdaMemory::share_at(std::uint64_t block, std::uint32_t j) const {
-  const auto it = shares_.find(block);
-  return it == shares_.end() ? zero_shares_[j] : it->second[j];
+  const auto it = shares_.find(region_of_block(block));
+  if (it == shares_.end()) {
+    return zero_shares_[j];
+  }
+  const std::size_t R = config_.region_blocks;
+  return it->second[static_cast<std::size_t>(j) * R + block % R];
 }
 
 void IdaMemory::placement_into_current(std::uint64_t block,
@@ -72,17 +113,15 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
                                                  std::uint32_t* erased,
                                                  std::uint32_t* faulty,
                                                  bool* ok) const {
+  if (hooks_ == nullptr) {
+    std::vector<pram::Word> out(config_.b);
+    decode_blocks_healthy(block, 1, out.data());
+    return out;
+  }
   std::vector<std::uint32_t> indices;
   std::vector<pram::Word> vals;
   indices.reserve(config_.b);
   vals.reserve(config_.b);
-  if (hooks_ == nullptr) {
-    for (std::uint32_t j = 0; j < config_.b; ++j) {
-      indices.push_back(j);
-      vals.push_back(share_at(block, j));
-    }
-    return disperser_.recover_words(indices, vals);
-  }
   std::vector<ModuleId> modules(config_.d);
   placement_into_current(block, modules);
   for (std::uint32_t j = 0; j < config_.d; ++j) {
@@ -120,7 +159,31 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
     *ok = false;
     return std::vector<pram::Word>(config_.b, 0);
   }
-  return disperser_.recover_words(indices, vals);
+  // Same interpolation recover_words performs, routed through the bulk
+  // codec (count 1, stride 1): the recovery matrix folds the
+  // value-independent Lagrange factors, so the words are bit-identical
+  // by exact GF(256) arithmetic.
+  std::vector<pram::Word> out(config_.b);
+  disperser_.decode_regions(indices, vals.data(), 1, 1, out.data());
+  return out;
+}
+
+void IdaMemory::decode_blocks_healthy(std::uint64_t first_block,
+                                      std::uint32_t count,
+                                      pram::Word* out) const {
+  PRAMSIM_ASSERT(count >= 1);
+  PRAMSIM_ASSERT(region_of_block(first_block) ==
+                 region_of_block(first_block + count - 1));
+  const auto it = shares_.find(region_of_block(first_block));
+  if (it == shares_.end()) {
+    // Untouched region: the zero block decodes to zeros, exactly.
+    std::fill_n(out, static_cast<std::size_t>(count) * config_.b, 0);
+    return;
+  }
+  disperser_.decode_regions(identity_indices_,
+                            it->second.data() + first_block %
+                                                    config_.region_blocks,
+                            config_.region_blocks, count, out);
 }
 
 std::vector<pram::Word> IdaMemory::decode_block(std::uint64_t block) {
@@ -147,13 +210,23 @@ std::vector<pram::Word> IdaMemory::decode_block(std::uint64_t block) {
 
 void IdaMemory::encode_block(std::uint64_t block,
                              std::span<const pram::Word> values) {
-  const auto encoded = disperser_.encode_words(values);
-  auto& row = shares_.try_emplace(block, zero_shares_).first->second;
+  // One block is a bulk encode of count 1 (stride 1 packs the d share
+  // words densely into the scratch) — same Horner products the classic
+  // per-word encode_words computed, via the generator-matrix rows.
+  disperser_.encode_regions(values.data(), 1, encode_scratch_.data(), 1);
+  auto& row = region_row(block);
+  const std::size_t R = config_.region_blocks;
+  const std::uint64_t t = block % R;
+  row[flag_base_ + t / 64] = static_cast<pram::Word>(
+      static_cast<std::uint64_t>(row[flag_base_ + t / 64]) |
+      (1ULL << (t % 64)));
+  const std::size_t check_base = static_cast<std::size_t>(config_.d) * R;
   if (hooks_ == nullptr) {
-    std::copy(encoded.begin(), encoded.end(), row.begin());
-    if (config_.check_shares) {
-      for (std::uint32_t j = 0; j < config_.d; ++j) {
-        row[config_.d + j] = share_checksum(block, j, encoded[j]);
+    for (std::uint32_t j = 0; j < config_.d; ++j) {
+      row[static_cast<std::size_t>(j) * R + t] = encode_scratch_[j];
+      if (config_.check_shares) {
+        row[check_base + static_cast<std::size_t>(j) * R + t] =
+            share_checksum(block, j, encode_scratch_[j]);
       }
     }
     return;
@@ -166,16 +239,17 @@ void IdaMemory::encode_block(std::uint64_t block,
       ++reliability_.writes_dropped;
       continue;
     }
-    pram::Word word = encoded[j];
+    pram::Word word = encode_scratch_[j];
     if (hooks_->corrupt_write(block, j, store_ops_, steps_served(), word)) {
       ++reliability_.corrupt_stores;
     }
-    row[j] = word;
+    row[static_cast<std::size_t>(j) * R + t] = word;
     if (config_.check_shares) {
       // The checksum is computed by the WRITER from the true encoded
       // word (and modeled as stored intact), so a corrupted data word
       // leaves a mismatched pair the next decode detects.
-      row[config_.d + j] = share_checksum(block, j, encoded[j]);
+      row[check_base + static_cast<std::size_t>(j) * R + t] =
+          share_checksum(block, j, encode_scratch_[j]);
     }
   }
 }
@@ -378,6 +452,10 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
   decoded_store_.resize(n_groups * config_.b);
   auto decode_group = [&](std::size_t g) {
     const std::uint64_t blk = plan.group_keys[g];
+    if (hooks_ == nullptr) {
+      decode_blocks_healthy(blk, 1, decoded_store_.data() + g * config_.b);
+      return;
+    }
     const auto vals = decode_block(blk);
     std::copy(vals.begin(), vals.end(),
               decoded_store_.begin() + static_cast<std::ptrdiff_t>(
@@ -398,9 +476,33 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
       charge_read_block(plan.group_keys[g]);
     }
   }
-  for (std::size_t g = 0; g < n_groups; ++g) {
-    if (group_has_read_[g]) {
-      decode_group(g);
+  if (hooks_ == nullptr) {
+    // Healthy fast path: group keys ascend, and consecutive groups land
+    // block-major in decoded_store_, so each maximal run of consecutive
+    // read blocks inside one storage region recodes through ONE bulk
+    // decode_regions call over the stored share spans.
+    std::size_t g = 0;
+    while (g < n_groups) {
+      if (!group_has_read_[g]) {
+        ++g;
+        continue;
+      }
+      const std::uint64_t blk0 = plan.group_keys[g];
+      std::uint32_t len = 1;
+      while (g + len < n_groups && group_has_read_[g + len] &&
+             plan.group_keys[g + len] == blk0 + len &&
+             region_of_block(blk0 + len) == region_of_block(blk0)) {
+        ++len;
+      }
+      decode_blocks_healthy(blk0, len,
+                            decoded_store_.data() + g * config_.b);
+      g += len;
+    }
+  } else {
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (group_has_read_[g]) {
+        decode_group(g);
+      }
     }
   }
   if (hooks_ != nullptr) {
@@ -526,11 +628,12 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
       reliability_.units_relocated += relocated;
       return relocated;
     };
-    if (shares_.find(block) == shares_.end()) {
-      // Untouched block: every share at index j still reads the shared
-      // zero encoding zero_shares_[j], which relocation preserves — so
+    if (!block_written(block)) {
+      // Unwritten block: every share at index j still reads the shared
+      // zero encoding zero_shares_[j] (whether or not a neighbor write
+      // materialized its region row), which relocation preserves — so
       // re-homing the dead shares restores full redundancy without
-      // materializing the row (the sparse store stays sparse).
+      // writing any share words.
       if (relocate_dead() > 0) {
         ++result.repaired;
         ++reliability_.units_repaired;

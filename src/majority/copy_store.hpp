@@ -6,6 +6,14 @@
 // take the freshest; writes stamp >= c copies. Because any two c-subsets
 // of 2c-1 copies intersect, the freshest copy in any read set carries the
 // latest committed write.
+//
+// Region granularity: the store keeps copies of W = region_words
+// consecutive variables contiguously (copy-major: copy i of the whole
+// region, then copy i+1, ...), so a copy's slice of a region is one flat
+// span. W = 1 reproduces the classic per-variable rows byte for byte;
+// W > 1 lets vote_region() compare whole copy regions with memcmp (the
+// bulk healthy path) while every per-word method below keeps its exact
+// word-at-a-time semantics.
 #pragma once
 
 #include <cstdint>
@@ -25,51 +33,68 @@ struct Copy {
   std::uint64_t stamp = 0;  ///< step number of last write (0 = initial)
 };
 
-/// Sparse (variable, copy-index) -> Copy storage. A variable's r copies
-/// are materialized on its first write; untouched variables read as the
+static_assert(sizeof(Copy) == 2 * sizeof(std::uint64_t),
+              "Copy must be padding-free so region memcmp compares exactly "
+              "the (value, stamp) pairs");
+
+/// Sparse (region, copy-index) -> Copy storage. A region's r copy slices
+/// are materialized on its first write; untouched regions read as the
 /// initial {0, 0} copy. This keeps full-scale memories (m up to n^2 for
 /// n in the thousands) cheap to construct: storage is proportional to the
-/// variables a run actually writes, not to m*r.
+/// regions a run actually writes, not to m*r.
 class CopyStore {
  public:
-  CopyStore(std::uint64_t m_vars, std::uint32_t redundancy);
+  CopyStore(std::uint64_t m_vars, std::uint32_t redundancy,
+            std::uint32_t region_words = 1);
 
   [[nodiscard]] std::uint64_t num_vars() const { return m_vars_; }
   [[nodiscard]] std::uint32_t redundancy() const { return r_; }
-  /// Variables with at least one written copy (live-set accounting).
+  [[nodiscard]] std::uint32_t region_words() const { return w_; }
+  [[nodiscard]] std::uint64_t num_regions() const { return n_regions_; }
+  [[nodiscard]] std::uint64_t region_of(VarId var) const {
+    return var.index() / w_;
+  }
+  /// Regions with at least one written copy (live-set accounting; with
+  /// region_words == 1 this is exactly "variables with >= 1 written
+  /// copy", the classic meaning).
   [[nodiscard]] std::uint64_t touched_vars() const { return copies_.size(); }
-  /// True when `var` has a materialized row (>= 1 copy ever written).
-  /// Untouched variables read as the initial {0, 0} copy everywhere, so
-  /// repair passes can restore their redundancy by relocation alone.
+  /// True when `var`'s region has a materialized row (>= 1 copy of some
+  /// variable in the region ever written). Untouched variables read as
+  /// the initial {0, 0} copy everywhere, so repair passes can restore
+  /// their redundancy by relocation alone.
   [[nodiscard]] bool touched(VarId var) const {
-    return copies_.find(var.index()) != copies_.end();
+    return copies_.find(region_of(var)) != copies_.end();
   }
 
   [[nodiscard]] const Copy& at(VarId var, std::uint32_t copy) const {
     PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
-    const auto it = copies_.find(var.index());
+    const auto it = copies_.find(region_of(var));
     if (it == copies_.end()) {
       static const Copy kInitial{};
       return kInitial;
     }
-    return it->second[copy];
+    return it->second[static_cast<std::size_t>(copy) * w_ +
+                      var.index() % w_];
   }
 
   void write(VarId var, std::uint32_t copy, pram::Word value,
              std::uint64_t stamp) {
     PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
-    row(var)[copy] = Copy{value, stamp};
+    row(var)[static_cast<std::size_t>(copy) * w_ + var.index() % w_] =
+        Copy{value, stamp};
   }
 
   // ----- group-parallel serve surface -----
   //
   // The sparse map's structure must not mutate while group workers write
   // concurrently, so the parallel value phase is two-phase: the serving
-  // thread materializes every written variable's row up front
-  // (ensure_row), then workers update DISTINCT variables' rows in place
-  // (write_prepared) — pure lookups, no insertion, no growth.
+  // thread materializes every written variable's region row up front
+  // (ensure_row), then workers update DISTINCT variables' slots in place
+  // (write_prepared) — pure lookups, no insertion, no growth. Distinct
+  // variables of a SHARED region row touch disjoint Copy slots, so the
+  // frozen-structure rule carries over to any region width unchanged.
 
-  /// Materialize `var`'s row (serving thread only, before fan-out).
+  /// Materialize `var`'s region row (serving thread only, before fan-out).
   void ensure_row(VarId var) { (void)row(var); }
 
   /// In-place write for a row ensure_row already materialized. Safe to
@@ -78,9 +103,10 @@ class CopyStore {
   void write_prepared(VarId var, std::uint32_t copy, pram::Word value,
                       std::uint64_t stamp) {
     PRAMSIM_DASSERT(var.index() < m_vars_ && copy < r_);
-    const auto it = copies_.find(var.index());
+    const auto it = copies_.find(region_of(var));
     PRAMSIM_DASSERT(it != copies_.end());
-    it->second[copy] = Copy{value, stamp};
+    it->second[static_cast<std::size_t>(copy) * w_ + var.index() % w_] =
+        Copy{value, stamp};
   }
 
   /// The freshest value among the copies selected by `mask` (bit i =>
@@ -143,13 +169,70 @@ class CopyStore {
                                    const pram::FaultHooks& hooks,
                                    std::uint64_t& corrupt_stores);
 
+  // ----- bulk region surface (the hailburst vote_memory idiom) -----
+
+  /// vote_region found no copy whose whole region a strict majority of
+  /// the live copies matches bytewise.
+  static constexpr std::int32_t kNoRegionMajority = -1;
+
+  /// Region-wise majority vote: compare whole per-copy regions with
+  /// memcmp, skipping copies masked out of `live_mask` (erased replicas),
+  /// and return the index of a live copy whose region a strict majority
+  /// of the live copies matches bytewise — or kNoRegionMajority when no
+  /// bytewise majority exists, in which case callers fall back to the
+  /// word-granular vote() per variable to localize the dissent.
+  ///
+  /// With `dissenting` == nullptr the scan early-exits as soon as some
+  /// candidate reaches a strict majority (the fast healthy path);
+  /// otherwise all live copies are compared and *dissenting receives the
+  /// exact count of live copies whose region differs from the winner's
+  /// (0 == the whole region is bytewise unanimous).
+  ///
+  /// Byte comparison of Copy spans compares exactly the (value, stamp)
+  /// pairs (Copy is padding-free by the static_assert above), so a
+  /// unanimous region certifies per-word agreement on values AND stamps.
+  [[nodiscard]] std::int32_t vote_region(
+      std::uint64_t region, std::uint64_t live_mask,
+      std::uint32_t* dissenting = nullptr) const;
+
+  /// Copy `copy`'s contiguous slice of `region` (region_words() entries);
+  /// empty for untouched regions (every copy reads the initial {0, 0}).
+  [[nodiscard]] std::span<const Copy> region_span(std::uint64_t region,
+                                                  std::uint32_t copy) const {
+    PRAMSIM_DASSERT(region < n_regions_ && copy < r_);
+    const auto it = copies_.find(region);
+    if (it == copies_.end()) {
+      return {};
+    }
+    return {it->second.data() + static_cast<std::size_t>(copy) * w_, w_};
+  }
+
+  /// Bulk repair: memcpy copy `from`'s whole region slice over copy
+  /// `to`'s — values AND stamps — after a region-wise vote elected
+  /// `from`. No-op on untouched regions (all copies already agree).
+  void copy_region(std::uint64_t region, std::uint32_t from,
+                   std::uint32_t to);
+
  private:
   [[nodiscard]] std::vector<Copy>& row(VarId var) {
-    return copies_.try_emplace(var.index(), r_).first->second;
+    return copies_
+        .try_emplace(region_of(var), static_cast<std::size_t>(r_) * w_)
+        .first->second;
+  }
+  /// Pointer to `var`'s Copy for copy 0, or nullptr when the region is
+  /// untouched; copy i lives at base[i * region_words()].
+  [[nodiscard]] const Copy* column(VarId var) const {
+    const auto it = copies_.find(region_of(var));
+    if (it == copies_.end()) {
+      return nullptr;
+    }
+    return it->second.data() + var.index() % w_;
   }
 
   std::uint64_t m_vars_;
   std::uint32_t r_;
+  std::uint32_t w_;
+  std::uint64_t n_regions_;
   std::unordered_map<std::uint64_t, std::vector<Copy>> copies_;
 };
 

@@ -27,11 +27,17 @@ namespace pramsim::majority {
 class MajorityMemory final : public pram::MemorySystem {
  public:
   /// Generic form: any access engine over a 2c-1-redundancy map.
-  explicit MajorityMemory(std::unique_ptr<AccessEngine> engine);
+  /// `region_words` sets the CopyStore's storage granularity (1 = the
+  /// classic word-at-a-time layout, bit-identical to the pre-region
+  /// code); widths > 1 store each copy's slice of W consecutive
+  /// variables contiguously so scrub can clear whole regions with one
+  /// memcmp-majority pass (word-granular fallback on dissent).
+  explicit MajorityMemory(std::unique_ptr<AccessEngine> engine,
+                          std::uint32_t region_words = 1);
 
   /// Convenience: DMMPC engine with the given scheduler parameters.
   MajorityMemory(std::shared_ptr<const memmap::MemoryMap> map,
-                 SchedulerConfig scheduler);
+                 SchedulerConfig scheduler, std::uint32_t region_words = 1);
 
   pram::MemStepCost step(std::span<const VarId> reads,
                          std::span<pram::Word> read_values,

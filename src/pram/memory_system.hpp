@@ -137,6 +137,10 @@ class MemorySystem {
   /// ServeContext (no executor, flags discarded after the call — read
   /// them via flagged_reads() as before). New code should own a
   /// ServeContext and call serve(plan, ctx).
+  ///
+  /// SCHEDULED FOR REMOVAL: every in-repo caller has migrated to the
+  /// ServeContext overload; this adapter survives one deprecation cycle
+  /// for out-of-tree code and then goes away. Do not add new callers.
   MemStepCost serve(const AccessPlan& plan, std::span<Word> read_values) {
     ServeContext ctx(read_values);
     return serve(plan, ctx);

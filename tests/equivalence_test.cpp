@@ -10,6 +10,7 @@
 #include <cctype>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -25,17 +26,31 @@
 namespace pramsim {
 namespace {
 
-class AllKindsTest : public ::testing::TestWithParam<core::SchemeKind> {};
+// Every suite runs the full SchemeKind grid at BOTH storage
+// granularities: region_words 1 (the classic word-at-a-time layout the
+// pre-region code used) and 8 (region rows, bulk vote/recode paths).
+// Regions are a pure storage/throughput knob, so the whole file's
+// bit-exactness gates apply unchanged at every width.
+using KindAndWidth = std::tuple<core::SchemeKind, std::uint32_t>;
 
-std::string kind_name(
-    const ::testing::TestParamInfo<core::SchemeKind>& info) {
-  std::string name = core::to_string(info.param);
+class AllKindsTest : public ::testing::TestWithParam<KindAndWidth> {
+ protected:
+  [[nodiscard]] static core::SchemeKind kind() {
+    return std::get<0>(GetParam());
+  }
+  [[nodiscard]] static std::uint32_t width() {
+    return std::get<1>(GetParam());
+  }
+};
+
+std::string kind_name(const ::testing::TestParamInfo<KindAndWidth>& info) {
+  std::string name = core::to_string(std::get<0>(info.param));
   for (auto& ch : name) {
     if (!std::isalnum(static_cast<unsigned char>(ch))) {
       ch = '_';
     }
   }
-  return name;
+  return name + "_w" + std::to_string(std::get<1>(info.param));
 }
 
 TEST_P(AllKindsTest, RandomizedProgramsMatchFlatMemoryBitExact) {
@@ -52,10 +67,11 @@ TEST_P(AllKindsTest, RandomizedProgramsMatchFlatMemoryBitExact) {
     pram::Machine ideal(cfg, std::move(ideal_spec.program));
     pram::Machine simulated(
         cfg, std::move(sim_spec.program),
-        core::make_memory({.kind = GetParam(),
+        core::make_memory({.kind = kind(),
                            .n = n,
                            .seed = 5,
-                           .min_vars = ideal_spec.m_required}));
+                           .min_vars = ideal_spec.m_required,
+                           .region_words = width()}));
 
     util::Rng init(program_seed * 977 + 1);
     for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
@@ -67,12 +83,12 @@ TEST_P(AllKindsTest, RandomizedProgramsMatchFlatMemoryBitExact) {
     const auto b = simulated.run();
     ASSERT_TRUE(a.completed());
     ASSERT_TRUE(b.completed())
-        << core::to_string(GetParam()) << " seed " << program_seed;
+        << core::to_string(kind()) << " seed " << program_seed;
     EXPECT_EQ(a.steps, b.steps);
     for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
       ASSERT_EQ(ideal.shared(VarId(static_cast<std::uint32_t>(i))),
                 simulated.shared(VarId(static_cast<std::uint32_t>(i))))
-          << core::to_string(GetParam()) << " seed " << program_seed
+          << core::to_string(kind()) << " seed " << program_seed
           << " cell " << i;
     }
   }
@@ -89,10 +105,11 @@ TEST_P(AllKindsTest, LibraryProgramMatchesFlatMemory) {
   pram::Machine ideal(cfg, std::move(ideal_spec.program));
   pram::Machine simulated(
       cfg, std::move(sim_spec.program),
-      core::make_memory({.kind = GetParam(),
+      core::make_memory({.kind = kind(),
                          .n = n,
                          .seed = 9,
-                         .min_vars = ideal_spec.m_required}));
+                         .min_vars = ideal_spec.m_required,
+                         .region_words = width()}));
   util::Rng init(4242);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto v = static_cast<pram::Word>(init.below(100));
@@ -101,15 +118,16 @@ TEST_P(AllKindsTest, LibraryProgramMatchesFlatMemory) {
   }
   ASSERT_TRUE(ideal.run().completed());
   ASSERT_TRUE(simulated.run(2'000'000).completed())
-      << core::to_string(GetParam());
+      << core::to_string(kind());
   for (std::uint32_t i = 0; i < n; ++i) {
     EXPECT_EQ(ideal.shared(VarId(i)), simulated.shared(VarId(i)))
-        << core::to_string(GetParam()) << " cell " << i;
+        << core::to_string(kind()) << " cell " << i;
   }
 }
 
 TEST_P(AllKindsTest, RunsTheUnifiedStressPipeline) {
-  core::SimulationPipeline pipeline({.kind = GetParam(), .n = 16, .seed = 3});
+  core::SimulationPipeline pipeline(
+      {.kind = kind(), .n = 16, .seed = 3, .region_words = width()});
   const auto result =
       pipeline.run_stress({.steps_per_family = 2, .seed = 7, .trials = 2});
   // 2 trials x (3 exclusive families x 2 steps [+ 2 adversarial when the
@@ -119,16 +137,16 @@ TEST_P(AllKindsTest, RunsTheUnifiedStressPipeline) {
   const bool has_adversary = memory.memory_map() != nullptr ||
                              !memory.adversarial_vars(16, 7).empty();
   EXPECT_EQ(result.steps, has_adversary ? 16u : 12u)
-      << core::to_string(GetParam());
-  EXPECT_GT(result.time.mean(), 0.0) << core::to_string(GetParam());
-  EXPECT_GE(result.storage_factor, 1.0) << core::to_string(GetParam());
+      << core::to_string(kind());
+  EXPECT_GT(result.time.mean(), 0.0) << core::to_string(kind());
+  EXPECT_GE(result.storage_factor, 1.0) << core::to_string(kind());
 
   // And the prototype serves one-shot batches through the same interface.
   util::Rng rng(1);
   const auto batch = pram::make_batch(pram::TraceFamily::kPermutation, 16,
                                       pipeline.scheme().m, rng);
   const auto cost = pipeline.run_batch(batch);
-  EXPECT_GT(cost.time, 0u) << core::to_string(GetParam());
+  EXPECT_GT(cost.time, 0u) << core::to_string(kind());
 }
 
 // The fault-rate-0 equivalence gate: wrapping ANY scheme in a
@@ -152,10 +170,11 @@ TEST_P(AllKindsTest, FaultWrapperAtRateZeroIsTransparent) {
     const faults::FaultSpec inert{.seed = 77};
     ASSERT_TRUE(inert.inert());
     auto faultable = std::make_unique<faults::FaultableMemory>(
-        core::make_memory({.kind = GetParam(),
+        core::make_memory({.kind = kind(),
                            .n = n,
                            .seed = 5,
-                           .min_vars = ideal_spec.m_required}),
+                           .min_vars = ideal_spec.m_required,
+                           .region_words = width()}),
         inert);
     const faults::FaultableMemory* observer = faultable.get();
 
@@ -170,27 +189,29 @@ TEST_P(AllKindsTest, FaultWrapperAtRateZeroIsTransparent) {
       simulated.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
     }
     ASSERT_TRUE(ideal.run().completed());
-    ASSERT_TRUE(simulated.run().completed()) << core::to_string(GetParam());
+    ASSERT_TRUE(simulated.run().completed()) << core::to_string(kind());
     for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
       ASSERT_EQ(ideal.shared(VarId(static_cast<std::uint32_t>(i))),
                 simulated.shared(VarId(static_cast<std::uint32_t>(i))))
-          << core::to_string(GetParam()) << " seed " << program_seed
+          << core::to_string(kind()) << " seed " << program_seed
           << " cell " << i;
     }
     // The trace-consistency oracle watched every read and saw no lies,
     // no masked faults, no outages.
     const auto stats = observer->reliability();
-    EXPECT_EQ(stats.wrong_reads, 0u) << core::to_string(GetParam());
-    EXPECT_EQ(stats.faults_masked, 0u) << core::to_string(GetParam());
-    EXPECT_EQ(stats.uncorrectable, 0u) << core::to_string(GetParam());
-    EXPECT_EQ(stats.writes_dropped, 0u) << core::to_string(GetParam());
+    EXPECT_EQ(stats.wrong_reads, 0u) << core::to_string(kind());
+    EXPECT_EQ(stats.faults_masked, 0u) << core::to_string(kind());
+    EXPECT_EQ(stats.uncorrectable, 0u) << core::to_string(kind());
+    EXPECT_EQ(stats.writes_dropped, 0u) << core::to_string(kind());
     EXPECT_EQ(observer->model().dead_module_count(), 0u);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(EverySchemeKind, AllKindsTest,
-                         ::testing::ValuesIn(core::all_scheme_kinds()),
-                         kind_name);
+INSTANTIATE_TEST_SUITE_P(
+    EverySchemeKind, AllKindsTest,
+    ::testing::Combine(::testing::ValuesIn(core::all_scheme_kinds()),
+                       ::testing::Values(1u, 8u)),
+    kind_name);
 
 }  // namespace
 }  // namespace pramsim

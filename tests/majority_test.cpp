@@ -54,6 +54,103 @@ TEST(CopyStore, CorruptKeepsStamp) {
   EXPECT_EQ(store.at(VarId(0), 0).stamp, 2u);
 }
 
+// ------------------------------------------- region-granular store -----
+
+TEST(CopyStore, VoteRegionUnanimousDissentAndNoMajority) {
+  CopyStore store(16, 5, 4);
+  const std::uint64_t all = (1ULL << 5) - 1;
+  // Region 1 = vars [4, 8). Write every copy of every var identically.
+  for (std::uint32_t v = 4; v < 8; ++v) {
+    for (std::uint32_t c = 0; c < 5; ++c) {
+      store.write(VarId(v), c, 100 + v, 7);
+    }
+  }
+  std::uint32_t dissenting = 99;
+  EXPECT_EQ(store.vote_region(1, all, &dissenting), 0);
+  EXPECT_EQ(dissenting, 0u);
+  // Early-exit flavor (no dissent pointer) agrees on the winner.
+  EXPECT_EQ(store.vote_region(1, all), 0);
+
+  // One copy dissents mid-region: still a 4-of-5 bytewise majority, and
+  // the dissent count is exact.
+  store.corrupt(VarId(6), 2, 31337);
+  EXPECT_EQ(store.vote_region(1, all, &dissenting), 0);
+  EXPECT_EQ(dissenting, 1u);
+  // Masking the dissenter out restores unanimity among the live copies.
+  EXPECT_EQ(store.vote_region(1, all & ~(1ULL << 2), &dissenting), 0);
+  EXPECT_EQ(dissenting, 0u);
+  // Masking copy 0 out instead shifts the winner to the lowest live copy.
+  EXPECT_EQ(store.vote_region(1, all & ~1ULL, &dissenting), 1);
+  EXPECT_EQ(dissenting, 1u);
+
+  // Three of five copies each diverge to a distinct value: the two
+  // agreeing survivors are below the strict majority of 3, so no copy's
+  // whole region wins and callers must fall back to per-word vote().
+  store.corrupt(VarId(5), 0, 1111);
+  store.corrupt(VarId(7), 1, 2222);
+  EXPECT_EQ(store.vote_region(1, all, &dissenting),
+            CopyStore::kNoRegionMajority);
+  // No survivors at all is also no-majority, never a {0,0} winner.
+  EXPECT_EQ(store.vote_region(1, 0), CopyStore::kNoRegionMajority);
+}
+
+TEST(CopyStore, VoteRegionUntouchedRegionIsUnanimousZero) {
+  CopyStore store(16, 5, 4);
+  std::uint32_t dissenting = 99;
+  // Lowest live copy represents the all-{0,0} region; nothing allocates.
+  EXPECT_EQ(store.vote_region(2, 0b11100, &dissenting), 2);
+  EXPECT_EQ(dissenting, 0u);
+  EXPECT_EQ(store.touched_vars(), 0u);
+}
+
+TEST(CopyStore, CopyRegionRepairsWholeSlice) {
+  CopyStore store(16, 3, 4);
+  for (std::uint32_t v = 8; v < 12; ++v) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      store.write(VarId(v), c, 500 + v, 9);
+    }
+  }
+  store.corrupt(VarId(9), 2, 777);
+  store.corrupt(VarId(11), 2, 888);
+  const std::int32_t winner = store.vote_region(2, 0b111);
+  ASSERT_EQ(winner, 0);
+  store.copy_region(2, static_cast<std::uint32_t>(winner), 2);
+  std::uint32_t dissenting = 99;
+  EXPECT_EQ(store.vote_region(2, 0b111, &dissenting), 0);
+  EXPECT_EQ(dissenting, 0u);
+  EXPECT_EQ(store.at(VarId(9), 2).value, 509u);
+  EXPECT_EQ(store.at(VarId(11), 2).stamp, 9u);
+}
+
+TEST(CopyStore, WidthOneAndWidthFourAgreeOnEveryQuery) {
+  // Same write stream into a classic width-1 store and a width-4 store:
+  // every per-word query (at / freshest / ground_truth / touched) must
+  // agree — region granularity is storage layout, not semantics.
+  CopyStore narrow(32, 3, 1);
+  CopyStore wide(32, 3, 4);
+  EXPECT_EQ(wide.num_regions(), 8u);
+  util::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const VarId var(static_cast<std::uint32_t>(rng.below(32)));
+    const auto copy = static_cast<std::uint32_t>(rng.below(3));
+    const auto value = static_cast<Word>(rng.below(1000));
+    const std::uint64_t stamp = 1 + static_cast<std::uint64_t>(i) / 4;
+    narrow.write(var, copy, value, stamp);
+    wide.write(var, copy, value, stamp);
+  }
+  for (std::uint32_t v = 0; v < 32; ++v) {
+    const VarId var(v);
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(narrow.at(var, c).value, wide.at(var, c).value) << v;
+      ASSERT_EQ(narrow.at(var, c).stamp, wide.at(var, c).stamp) << v;
+    }
+    EXPECT_EQ(narrow.freshest(var, 0b101).value,
+              wide.freshest(var, 0b101).value);
+    EXPECT_EQ(narrow.ground_truth(var).value, wide.ground_truth(var).value);
+    EXPECT_EQ(narrow.ground_truth(var).stamp, wide.ground_truth(var).stamp);
+  }
+}
+
 // -------------------------------------------------------- scheduler -----
 
 SchedulerConfig config_for(std::uint32_t c, std::uint32_t n) {

@@ -15,6 +15,7 @@
 #include <cctype>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -154,6 +155,7 @@ void expect_serve_matches_step(pram::MemorySystem& via_serve,
                                pram::MemorySystem& via_step,
                                std::uint32_t n, const char* name) {
   util::Rng rng(23);
+  pram::ServeContext ctx;
   core::PlanBuilder builder;
   const std::uint64_t m = via_serve.size();
   for (int s = 0; s < 12; ++s) {
@@ -164,7 +166,8 @@ void expect_serve_matches_step(pram::MemorySystem& via_serve,
     const auto& plan = builder.build(batch, via_serve);
     std::vector<pram::Word> serve_values(plan.reads.size());
     std::vector<pram::Word> step_values(plan.reads.size());
-    via_serve.serve(plan, serve_values);
+    ctx.bind(serve_values);
+    via_serve.serve(plan, ctx);
     via_step.step(plan.reads, step_values, plan.writes);
     for (std::size_t i = 0; i < plan.reads.size(); ++i) {
       ASSERT_EQ(serve_values[i], step_values[i])
@@ -263,9 +266,13 @@ TEST_P(PlanServeTest, GroupParallelServeMatchesStep) {
 // The schemes shipping native group-parallel serve must actually engage
 // it (capability + plan groups), and the backend must be bit-identical
 // to the serial backend at every worker count — values, committed state,
-// reliability telemetry, and outage flags — healthy AND degraded.
+// reliability telemetry, and outage flags — healthy AND degraded. The
+// sweep crosses every native scheme with region widths 1 and 8, pinning
+// the frozen-structure rule (region rows pre-materialized before the
+// fan-out) at wide granularity too.
 class GroupParallelBackendTest
-    : public ::testing::TestWithParam<core::SchemeKind> {};
+    : public ::testing::TestWithParam<
+          std::tuple<core::SchemeKind, std::uint32_t>> {};
 
 void drive_backend(core::SchemeSpec spec, pram::ServeBackend backend,
                    std::size_t workers, const faults::FaultModel* hooks,
@@ -318,7 +325,10 @@ void drive_backend(core::SchemeSpec spec, pram::ServeBackend backend,
 }
 
 TEST_P(GroupParallelBackendTest, BitIdenticalToSerialAtAnyWorkerCount) {
-  const core::SchemeSpec spec{.kind = GetParam(), .n = 16, .seed = 7};
+  const core::SchemeSpec spec{.kind = std::get<0>(GetParam()),
+                              .n = 16,
+                              .seed = 7,
+                              .region_words = std::get<1>(GetParam())};
   const faults::FaultSpec fault_spec{.seed = 99, .module_kill_rate = 0.4,
                                      .stuck_rate = 0.05,
                                      .corruption_rate = 0.2};
@@ -357,23 +367,23 @@ TEST_P(GroupParallelBackendTest, BitIdenticalToSerialAtAnyWorkerCount) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(NativeGroupParallelSchemes,
-                         GroupParallelBackendTest,
-                         ::testing::Values(core::SchemeKind::kDmmpc,
-                                           core::SchemeKind::kUwMpc,
-                                           core::SchemeKind::kHpMot,
-                                           core::SchemeKind::kHashed),
-                         [](const ::testing::TestParamInfo<core::SchemeKind>&
-                                info) {
-                           std::string name = core::to_string(info.param);
-                           for (auto& ch : name) {
-                             if (!std::isalnum(
-                                     static_cast<unsigned char>(ch))) {
-                               ch = '_';
-                             }
-                           }
-                           return name;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    NativeGroupParallelSchemes, GroupParallelBackendTest,
+    ::testing::Combine(::testing::Values(core::SchemeKind::kDmmpc,
+                                         core::SchemeKind::kUwMpc,
+                                         core::SchemeKind::kHpMot,
+                                         core::SchemeKind::kHashed),
+                       ::testing::Values(1u, 8u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<core::SchemeKind, std::uint32_t>>& info) {
+      std::string name = core::to_string(std::get<0>(info.param));
+      for (auto& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) {
+          ch = '_';
+        }
+      }
+      return name + "_w" + std::to_string(std::get<1>(info.param));
+    });
 
 // Regression for the flagged_reads migration: reads under erasure served
 // through serve(plan, ctx) must be flagged exactly as the step() path
