@@ -5,12 +5,16 @@
 // across PRs.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "util/fit.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace pramsim::bench {
@@ -25,7 +29,35 @@ namespace pramsim::bench {
 /// v3: dynamic-onset faults + background scrubbing (BENCH_recovery.json
 ///     introduced; static sweeps with scrubbing disabled and onset 0
 ///     remain identical to v2).
-inline constexpr int kBenchSchemaVersion = 3;
+/// v4: every file carries a "manifest" object (scheme/seed/workers/
+///     region width/backend/obs) identifying the run configuration;
+///     numeric series are unchanged from v3.
+inline constexpr int kBenchSchemaVersion = 4;
+
+/// Run-identity stamp mirrored into every BENCH_*.json: enough context
+/// to tell whether two trajectory points were measured under the same
+/// configuration. Fields an experiment doesn't vary keep their defaults
+/// (empty string / 0) — "unspecified", not "unknown".
+struct RunManifest {
+  std::string scheme;        ///< scheme spec summary, e.g. "majority r=3"
+  std::uint64_t seed = 0;    ///< base RNG seed of the experiment
+  std::size_t workers =
+      util::parallel_workers(1u << 20);  ///< realized worker ceiling
+  std::uint32_t region_width = 0;        ///< region granularity (0 = n/a)
+  std::string backend;       ///< serve backend, e.g. "group-parallel"
+  bool obs_enabled = false;  ///< observability attached during timing?
+
+  [[nodiscard]] std::string to_json() const {
+    return std::string("{\"scheme\": \"") + util::json_escape(scheme) +
+           "\", \"seed\": " + std::to_string(seed) +
+           ", \"workers\": " + std::to_string(workers) +
+           ", \"region_width\": " + std::to_string(region_width) +
+           ", \"backend\": \"" + util::json_escape(backend) +
+           "\", \"obs_enabled\": " + (obs_enabled ? "true" : "false") +
+           ", \"obs_compiled\": " + (obs::kEnabled ? "true" : "false") +
+           "}";
+  }
+};
 
 inline void banner(const char* exp_id, const char* paper_artifact,
                    const char* claim) {
@@ -104,6 +136,13 @@ class Reporter {
   Reporter(const Reporter&) = delete;
   Reporter& operator=(const Reporter&) = delete;
 
+  /// Stamp the run manifest mirrored into the JSON. Optional: a reporter
+  /// that never calls this still writes a default manifest (host worker
+  /// ceiling + obs compile flag), so every v4 file has one.
+  void set_manifest(RunManifest manifest) {
+    manifest_ = std::move(manifest);
+  }
+
   /// Print a result table and record it for the JSON mirror.
   void table(const util::Table& t, int precision) {
     t.print(precision);
@@ -138,7 +177,8 @@ class Reporter {
                       "\", \"schema_version\": " +
                       std::to_string(kBenchSchemaVersion) +
                       ", \"artifact\": \"" + util::json_escape(artifact_) +
-                      "\", \"tables\": [";
+                      "\", \"manifest\": " + manifest_.to_json() +
+                      ", \"tables\": [";
     for (std::size_t i = 0; i < table_json_.size(); ++i) {
       out += (i ? ", " : "") + table_json_[i];
     }
@@ -156,6 +196,7 @@ class Reporter {
   std::string exp_id_;
   std::string artifact_;
   std::string claim_;
+  RunManifest manifest_;
   std::vector<std::string> table_json_;
   std::vector<std::string> fit_json_;
 };

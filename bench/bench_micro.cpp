@@ -4,7 +4,6 @@
 // model quantities. Self-timed (no external benchmark dependency) and
 // mirrored to BENCH_micro.json via bench::Reporter like every other
 // experiment binary.
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -23,6 +22,7 @@
 #include "pram/machine.hpp"
 #include "pram/programs.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 using namespace pramsim;
@@ -44,20 +44,17 @@ struct Measurement {
 /// measured (after a warmup batch), then report mean ns per call.
 template <typename F>
 Measurement measure(F&& op, std::uint64_t batch = 64) {
-  using clock = std::chrono::steady_clock;
   for (std::uint64_t i = 0; i < batch; ++i) {
     op();  // warmup (page-in, branch training)
   }
   Measurement m;
   double elapsed_ns = 0.0;
   while (elapsed_ns < 2e7 && m.iterations < (1ULL << 30)) {
-    const auto start = clock::now();
+    const util::Stopwatch watch;
     for (std::uint64_t i = 0; i < batch; ++i) {
       op();
     }
-    const auto stop = clock::now();
-    elapsed_ns += std::chrono::duration<double, std::nano>(stop - start)
-                      .count();
+    elapsed_ns += static_cast<double>(watch.elapsed_ns());
     m.iterations += batch;
     batch *= 2;  // amortize clock overhead on fast kernels
   }
@@ -308,6 +305,11 @@ int main() {
     }, 1);
     add_row(table, "pram_prefix_sum_run", "n=256", m, n);
   }
+
+  bench::RunManifest manifest;
+  manifest.scheme = "kernel sweep (see table rows)";
+  manifest.backend = "inline kernels (no serve path)";
+  reporter.set_manifest(manifest);
 
   reporter.table(table, 2);
   return 0;

@@ -18,6 +18,7 @@
 //
 // The same probe with scrubbing disabled is the control: degradation is
 // permanent without repair, so the delta column is pure scrub effect.
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
+#include "obs/journal.hpp"
 #include "util/table.hpp"
 
 using namespace pramsim;
@@ -34,6 +36,16 @@ namespace {
 
 std::string step_str(std::int64_t step) {
   return step < 0 ? "never" : std::to_string(step);
+}
+
+/// Per-kind event counts from a flushed journal's surviving window.
+std::array<std::int64_t, obs::kEventKindCount> count_events(
+    const obs::Journal& journal) {
+  std::array<std::int64_t, obs::kEventKindCount> counts{};
+  for (const auto& event : journal.events()) {
+    ++counts[static_cast<std::size_t>(event.kind)];
+  }
+  return counts;
 }
 
 }  // namespace
@@ -62,8 +74,13 @@ int main() {
   probe.scrub_budget = 128;
   probe.recovery_threshold = 0.02;
 
+  // The scrubbed probe also carries the observability sink: the journal
+  // table below reads the recovery story straight off the event stream.
+  probe.obs_enabled = true;
+
   core::RecoveryOptions control = probe;
   control.scrub_interval = 0;  // no scrubbing: degradation is permanent
+  control.obs_enabled = false;
 
   util::Table summary({"scheme", "r", "storage x", "onset", "degraded @",
                        "recovered @", "recovery steps", "peak rate",
@@ -80,6 +97,14 @@ int main() {
       core::SchemeKind::kHashed};
   std::vector<util::Table> trajectories;
 
+  util::Table journal_table(
+      {"scheme", "onsets", "deg votes", "deg decodes", "uncorrectable",
+       "relocations", "scrub repairs", "wrong reads", "recorded",
+       "dropped"});
+  journal_table.set_title(
+      "event journal of the scrubbed probe (per-kind counts over the "
+      "surviving ring window; 'recorded' is lifetime appends)");
+
   for (const auto kind : core::all_scheme_kinds()) {
     core::SimulationPipeline pipeline({.kind = kind, .n = n, .seed = 33});
     const auto& scheme = pipeline.scheme();
@@ -95,6 +120,21 @@ int main() {
          scrubbed.final_degraded_rate, unscrubbed.final_degraded_rate,
          static_cast<std::int64_t>(scrubbed.scrub.repaired),
          static_cast<std::int64_t>(scrubbed.scrub.relocated)});
+
+    const auto counts = count_events(scrubbed.obs.journal);
+    auto kind_count = [&](obs::EventKind k) {
+      return counts[static_cast<std::size_t>(k)];
+    };
+    journal_table.add_row(
+        {scheme.name, kind_count(obs::EventKind::kFaultOnset),
+         kind_count(obs::EventKind::kDegradedVote),
+         kind_count(obs::EventKind::kDegradedDecode),
+         kind_count(obs::EventKind::kUncorrectable),
+         kind_count(obs::EventKind::kRelocation),
+         kind_count(obs::EventKind::kScrubRepair),
+         kind_count(obs::EventKind::kWrongRead),
+         static_cast<std::int64_t>(scrubbed.obs.journal.recorded()),
+         static_cast<std::int64_t>(scrubbed.obs.journal.dropped())});
 
     for (std::size_t t = 0; t < trajectory_kinds.size(); ++t) {
       if (trajectory_kinds[t] != kind) {
@@ -125,9 +165,17 @@ int main() {
   }
 
   reporter.table(summary, 4);
+  reporter.table(journal_table, 0);
   for (const auto& trajectory : trajectories) {
     reporter.table(trajectory, 4);
   }
+
+  bench::RunManifest manifest;
+  manifest.scheme = "kind sweep (see table rows)";
+  manifest.seed = 33;
+  manifest.backend = "serial recovery probe";
+  manifest.obs_enabled = true;  // scrubbed probe journals its events
+  reporter.set_manifest(manifest);
 
   std::printf(
       "\nReading the trajectories: before step %llu every scheme is\n"

@@ -8,7 +8,6 @@
 //
 // A second table measures the pipeline end to end: run_stress wall time
 // with the double-buffered, within-trial-sharded driver.
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -21,17 +20,12 @@
 #include "pram/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pramsim;
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Raw batches for the serve loop: alternating permutation / uniform
 /// steps (distinct-heavy and collision-heavy traffic).
@@ -78,7 +72,7 @@ Throughput measure(const core::SchemeSpec& spec,
   pram::ServeContext ctx;
   auto run = [&](pram::MemorySystem& memory, bool plan_path) {
     std::size_t steps = 0;
-    const auto start = Clock::now();
+    const util::Stopwatch watch;
     double elapsed = 0.0;
     do {
       for (const auto* plan : plans) {
@@ -87,13 +81,13 @@ Throughput measure(const core::SchemeSpec& spec,
           ctx.bind(values);
           memory.serve(*plan, ctx);
         } else {
-          // The legacy adapter body, spelled out: forward the combined
+          // The legacy serve body, spelled out: forward the combined
           // lists to step(), which redoes its own dedup/grouping.
           memory.step(plan->reads, values, plan->writes);
         }
       }
       steps += plans.size();
-      elapsed = seconds_since(start);
+      elapsed = watch.elapsed_seconds();
     } while (elapsed < budget_sec);
     return static_cast<double>(steps) / elapsed;
   };
@@ -144,7 +138,7 @@ double measure_backend(const core::SchemeSpec& spec,
     memory->serve(*plan, ctx);
   }
   std::size_t steps = 0;
-  const auto start = Clock::now();
+  const util::Stopwatch watch;
   double elapsed = 0.0;
   do {
     for (const auto* plan : plans) {
@@ -153,7 +147,7 @@ double measure_backend(const core::SchemeSpec& spec,
       memory->serve(*plan, ctx);
     }
     steps += plans.size();
-    elapsed = seconds_since(start);
+    elapsed = watch.elapsed_seconds();
   } while (elapsed < budget_sec);
   util::set_parallel_workers_override(0);
   return static_cast<double>(steps) / elapsed;
@@ -263,25 +257,46 @@ int main() {
   }
 
   {
+    // Each scheme runs twice: observability detached (the default) and
+    // attached with every step sampled — the overhead column is the obs
+    // acceptance gate (attached tracing should cost low single digits).
     util::Table table({"scheme", "n", "trials", "stress steps", "wall ms",
-                       "steps/s"});
+                       "steps/s", "steps/s obs", "obs ovh %"});
     table.set_title("pipeline stress throughput (double-buffered, "
-                    "within-trial family shards)");
+                    "within-trial family shards; 'obs' = metrics+journal+"
+                    "phase timers attached, sample interval 1)");
     for (const auto kind : {core::SchemeKind::kDmmpc, core::SchemeKind::kIda,
                             core::SchemeKind::kHashed}) {
       core::SimulationPipeline pipeline({.kind = kind, .n = 256, .seed = 3});
-      const core::StressOptions options{.steps_per_family = 16, .seed = 7,
-                                        .trials = 2};
-      const auto start = Clock::now();
+      core::StressOptions options{.steps_per_family = 16, .seed = 7,
+                                  .trials = 2};
+      const util::Stopwatch plain_watch;
       const auto result = pipeline.run_stress(options);
-      const double wall = seconds_since(start);
+      const double wall = plain_watch.elapsed_seconds();
+
+      options.obs_enabled = true;
+      const util::Stopwatch obs_watch;
+      const auto obs_result = pipeline.run_stress(options);
+      const double obs_wall = obs_watch.elapsed_seconds();
+
+      const double plain_rate = static_cast<double>(result.steps) / wall;
+      const double obs_rate =
+          static_cast<double>(obs_result.steps) / obs_wall;
       table.add_row({core::to_string(kind), std::int64_t{256},
                      static_cast<std::int64_t>(options.trials),
                      static_cast<std::int64_t>(result.steps), wall * 1e3,
-                     static_cast<double>(result.steps) / wall});
+                     plain_rate, obs_rate,
+                     (plain_rate / obs_rate - 1.0) * 100.0});
     }
     reporter.table(table, 1);
   }
+
+  bench::RunManifest manifest;
+  manifest.scheme = "kind sweep (see table rows)";
+  manifest.seed = 3;
+  manifest.backend = "serial + group-parallel (per table)";
+  manifest.obs_enabled = false;  // timed loops run detached by default
+  reporter.set_manifest(manifest);
 
   return 0;
 }

@@ -24,6 +24,7 @@ void TraceRunResult::merge(const TraceRunResult& other) {
   reliability.merge(other.reliability);
   scrub_passes += other.scrub_passes;
   scrub.merge(other.scrub);
+  obs.merge(other.obs);
   if (other.breaking_fault_rate >= 0.0 &&
       (breaking_fault_rate < 0.0 ||
        other.breaking_fault_rate < breaking_fault_rate)) {
@@ -45,6 +46,7 @@ void record_step(TraceRunResult& result, const pram::MemStepCost& cost) {
 struct ScrubCadence {
   std::uint32_t interval = 0;  ///< scrub every this many served steps
   std::uint64_t budget = 0;
+  obs::Sink* sink = nullptr;  ///< optional: time passes, count repairs
 
   [[nodiscard]] bool enabled() const { return interval > 0 && budget > 0; }
 
@@ -52,10 +54,25 @@ struct ScrubCadence {
   /// steps completed on this memory. Accumulates into `result`.
   void maybe_scrub(pram::MemorySystem& memory, std::size_t served,
                    TraceRunResult& result) const {
-    if (enabled() && served % interval == 0) {
-      ++result.scrub_passes;
-      result.scrub.merge(memory.scrub(budget));
+    if (!enabled() || served % interval != 0) {
+      return;
     }
+    ++result.scrub_passes;
+    pram::ScrubResult pass;
+    {
+      obs::ScopedPhase timer(
+          sink != nullptr && sink->sample(served) ? &sink->phases : nullptr,
+          obs::Phase::kScrub);
+      pass = memory.scrub(budget);
+    }
+    if (sink != nullptr) {
+      sink->metrics.add("scrub.passes");
+      sink->metrics.add("scrub.scanned", pass.scanned);
+      sink->metrics.add("scrub.repaired", pass.repaired);
+      sink->metrics.add("scrub.relocated", pass.relocated);
+      sink->metrics.add("scrub.work", pass.work);
+    }
+    result.scrub.merge(pass);
   }
 };
 
@@ -71,20 +88,34 @@ TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
                                    std::span<const pram::AccessBatch> trace,
                                    bool double_buffer,
                                    const ScrubCadence& scrub = {},
-                                   util::Executor* executor = nullptr) {
+                                   util::Executor* executor = nullptr,
+                                   obs::Sink* sink = nullptr) {
   TraceRunResult result;
   result.storage_factor = memory.storage_redundancy();
   std::vector<pram::Word> values;
+  // Sampling decision for step i+1 (0 = never time), shared by the
+  // kPlanBuild and kServe timers around that step.
+  const auto timing = [sink](std::size_t step) -> obs::PhaseSet* {
+    return sink != nullptr && sink->sample(step) ? &sink->phases : nullptr;
+  };
   // One context per run: rebound per step, executor attached when the
   // shard level leaves workers free for intra-step (group) fan-out.
   pram::ServeContext ctx({}, executor);
   if (!double_buffer || trace.size() < 4) {
     PlanBuilder builder;
     for (std::size_t i = 0; i < trace.size(); ++i) {
-      const auto& plan = builder.build(trace[i], memory);
-      values.resize(plan.reads.size());
+      obs::PhaseSet* phases = timing(i + 1);
+      const pram::AccessPlan* plan;
+      {
+        obs::ScopedPhase timer(phases, obs::Phase::kPlanBuild);
+        plan = &builder.build(trace[i], memory);
+      }
+      values.resize(plan->reads.size());
       ctx.bind(values);
-      record_step(result, memory.serve(plan, ctx));
+      {
+        obs::ScopedPhase timer(phases, obs::Phase::kServe);
+        record_step(result, memory.serve(*plan, ctx));
+      }
       scrub.maybe_scrub(memory, i + 1, result);
     }
     return result;
@@ -101,7 +132,13 @@ TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
         std::unique_lock lock(mutex);
         cv.wait(lock, [&] { return i < served + 2; });
       }
-      slots[i % 2].build(trace[i], memory);
+      {
+        // The generator thread writes ONLY the kPlanBuild row; the
+        // serving thread writes kServe/kScrub — distinct PhaseSet slots,
+        // single writer each (see obs/phase.hpp).
+        obs::ScopedPhase timer(timing(i + 1), obs::Phase::kPlanBuild);
+        slots[i % 2].build(trace[i], memory);
+      }
       {
         const std::lock_guard lock(mutex);
         built = i + 1;
@@ -117,7 +154,10 @@ TraceRunResult run_trace_pipelined(pram::MemorySystem& memory,
     const pram::AccessPlan& plan = slots[i % 2].plan();
     values.resize(plan.reads.size());
     ctx.bind(values);
-    record_step(result, memory.serve(plan, ctx));
+    {
+      obs::ScopedPhase timer(timing(i + 1), obs::Phase::kServe);
+      record_step(result, memory.serve(plan, ctx));
+    }
     scrub.maybe_scrub(memory, i + 1, result);
     {
       const std::lock_guard lock(mutex);
@@ -201,6 +241,16 @@ TraceRunResult SimulationPipeline::run_stress_impl(
     util::Rng rng(options.seed + trial * 0x9E3779B97F4A7C15ULL);
     util::Executor executor;
     TraceRunResult& shard = shards[s];
+    // Shard-local sink, folded into the merged result in shard order
+    // below. Kept outside `shard` while serving: the family stage
+    // assigns the whole TraceRunResult at once.
+    obs::Sink sink(obs::SinkOptions{options.obs_sample_interval,
+                                    options.obs_journal_capacity});
+    obs::Sink* obs_sink =
+        obs::kEnabled && options.obs_enabled ? &sink : nullptr;
+    if (obs_sink != nullptr) {
+      memory->set_observer(obs_sink);
+    }
     if (stage < families.size()) {
       // Reach this family's stream: family f uses the (f+1)-th split of
       // the trial generator, exactly as the sequential loop drew them.
@@ -213,8 +263,9 @@ TraceRunResult SimulationPipeline::run_stress_impl(
                                           family_rng);
       shard = run_trace_pipelined(
           *memory, trace, double_buffer,
-          ScrubCadence{options.scrub_interval, options.scrub_budget},
-          shard_level_serial ? &executor : nullptr);
+          ScrubCadence{options.scrub_interval, options.scrub_budget,
+                       obs_sink},
+          shard_level_serial ? &executor : nullptr, obs_sink);
     } else {
       for (std::size_t f = 0; f < families.size(); ++f) {
         (void)rng.split();
@@ -228,7 +279,8 @@ TraceRunResult SimulationPipeline::run_stress_impl(
       // causes (e.g. a rehashing backend redrawing its hash).
       const memmap::MemoryMap* map = memory->memory_map();
       shard.storage_factor = memory->storage_redundancy();
-      const ScrubCadence scrub{options.scrub_interval, options.scrub_budget};
+      const ScrubCadence scrub{options.scrub_interval, options.scrub_budget,
+                               obs_sink};
       PlanBuilder builder;
       std::vector<pram::Word> values;
       pram::ServeContext ctx({}, shard_level_serial ? &executor : nullptr);
@@ -244,23 +296,45 @@ TraceRunResult SimulationPipeline::run_stress_impl(
         for (std::uint32_t i = 0; i < vars.size(); ++i) {
           batch.push_back({ProcId(i % n), pram::AccessOp::kRead, vars[i], 0});
         }
-        const pram::AccessPlan& plan = builder.build(batch, *memory);
-        values.resize(plan.reads.size());
+        obs::PhaseSet* phases = obs_sink != nullptr &&
+                                        obs_sink->sample(step + 1)
+                                    ? &obs_sink->phases
+                                    : nullptr;
+        const pram::AccessPlan* plan;
+        {
+          obs::ScopedPhase timer(phases, obs::Phase::kPlanBuild);
+          plan = &builder.build(batch, *memory);
+        }
+        values.resize(plan->reads.size());
         ctx.bind(values);
-        record_step(shard, memory->serve(plan, ctx));
+        {
+          obs::ScopedPhase timer(phases, obs::Phase::kServe);
+          record_step(shard, memory->serve(*plan, ctx));
+        }
         scrub.maybe_scrub(*memory, step + 1, shard);
       }
     }
     shard.reliability = memory->reliability();
+    if (obs_sink != nullptr) {
+      memory->set_observer(nullptr);
+      sink.journal.flush();
+      shard.obs = std::move(sink);
+    }
   });
 
   // Deterministic merge in (trial, family, step) order — shard order is
   // fixed by construction, so the fold is identical at any thread count.
   TraceRunResult merged;
   merged.storage_factor = instance_.memory->storage_redundancy();
+  if (obs::kEnabled && options.obs_enabled) {
+    // Same ring bound for the merged journal as for each shard's.
+    merged.obs = obs::Sink(obs::SinkOptions{options.obs_sample_interval,
+                                            options.obs_journal_capacity});
+  }
   for (const auto& shard : shards) {
     merged.merge(shard);
   }
+  merged.obs.journal.flush();
   return merged;
 }
 
@@ -307,10 +381,19 @@ RecoveryResult SimulationPipeline::run_recovery(
   result.onset_step =
       static_cast<std::int64_t>(memory->model().first_onset());
 
+  obs::Sink* obs_sink = nullptr;
+  if (obs::kEnabled && options.obs_enabled) {
+    result.obs = obs::Sink(obs::SinkOptions{options.obs_sample_interval,
+                                            options.obs_journal_capacity});
+    obs_sink = &result.obs;
+    memory->set_observer(obs_sink);
+  }
+
   util::Rng rng(options.seed);
   const auto trace = pram::make_trace(options.family, spec_.n, m,
                                       options.steps, rng);
-  const ScrubCadence scrub{options.scrub_interval, options.scrub_budget};
+  const ScrubCadence scrub{options.scrub_interval, options.scrub_budget,
+                           obs_sink};
 
   PlanBuilder builder;
   std::vector<pram::Word> values;
@@ -319,10 +402,20 @@ RecoveryResult SimulationPipeline::run_recovery(
   pram::ReliabilityStats prev;
   result.trajectory.reserve(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const pram::AccessPlan& plan = builder.build(trace[i], *memory);
-    values.resize(plan.reads.size());
+    obs::PhaseSet* phases =
+        obs_sink != nullptr && obs_sink->sample(i + 1) ? &obs_sink->phases
+                                                       : nullptr;
+    const pram::AccessPlan* plan;
+    {
+      obs::ScopedPhase timer(phases, obs::Phase::kPlanBuild);
+      plan = &builder.build(trace[i], *memory);
+    }
+    values.resize(plan->reads.size());
     ctx.bind(values);
-    (void)memory->serve(plan, ctx);
+    {
+      obs::ScopedPhase timer(phases, obs::Phase::kServe);
+      (void)memory->serve(*plan, ctx);
+    }
     // Scrub AFTER sampling? No: scrub between steps, then sample, so a
     // step's point reflects the reads it served and the repairs that
     // followed it — the next step is the first to benefit.
@@ -348,6 +441,10 @@ RecoveryResult SimulationPipeline::run_recovery(
     result.trajectory.push_back(point);
   }
   result.reliability = memory->reliability();
+  if (obs_sink != nullptr) {
+    memory->set_observer(nullptr);
+    result.obs.journal.flush();
+  }
 
   // Read the recovery time off the trajectory: the first over-threshold
   // step is the injury, and recovery is the first step from which the

@@ -20,6 +20,7 @@
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
 #include "majority/engine.hpp"
+#include "obs/sink.hpp"
 #include "pram/memory_system.hpp"
 #include "pram/trace.hpp"
 #include "util/parallel.hpp"
@@ -46,6 +47,11 @@ struct TraceRunResult {
   /// scrubbing): passes the driver interleaved and what they performed.
   std::uint64_t scrub_passes = 0;
   pram::ScrubResult scrub;
+  /// Observability capture (StressOptions::obs_enabled): per-shard sinks
+  /// folded in shard order, so counters and journal are bit-identical at
+  /// any worker count; phase timings are wall-clock (see obs/sink.hpp).
+  /// Empty unless the run enabled observation.
+  obs::Sink obs;
 
   /// Redundancy-weighted cost: mean step time scaled by the storage
   /// blow-up — the "time x memory" currency the paper's trade-offs
@@ -99,6 +105,17 @@ struct StressOptions {
   /// unaffected (plans never depend on memory state).
   std::uint32_t scrub_interval = 0;
   std::uint64_t scrub_budget = 0;
+  /// Observability: attach an obs::Sink to every shard's memory (scheme
+  /// counters, phase timers, event journal) and fold the sinks in shard
+  /// order into TraceRunResult::obs. Off by default — the hot loop then
+  /// carries a null observer and the hooks cost one predicted branch.
+  bool obs_enabled = false;
+  /// Phase-timer sampling interval (SinkOptions::sample_interval): time
+  /// step s when s % interval == 0; 0 disables timers but keeps
+  /// counters/journal. No effect on deterministic sections.
+  std::uint32_t obs_sample_interval = 1;
+  /// Event-journal ring bound per shard (and for the merged result).
+  std::size_t obs_journal_capacity = obs::Journal::kDefaultCapacity;
 };
 
 /// Recovery-probe parameters: a single machine serves one trace family
@@ -117,6 +134,11 @@ struct RecoveryOptions {
   /// A step is "recovered" when its masked+uncorrectable rate (bad reads
   /// per read) is at or below this.
   double recovery_threshold = 0.02;
+  /// Observability knobs, as StressOptions: capture the probe's fault
+  /// onsets / degraded votes / scrub repairs into RecoveryResult::obs.
+  bool obs_enabled = false;
+  std::uint32_t obs_sample_interval = 1;
+  std::size_t obs_journal_capacity = obs::Journal::kDefaultCapacity;
 };
 
 /// Fault-sweep parameters: ramp the prototype's rate axes through
@@ -169,6 +191,10 @@ struct RecoveryResult {
   double final_degraded_rate = 0.0;  ///< last recorded step's rate
   pram::ReliabilityStats reliability;  ///< run totals
   pram::ScrubResult scrub;             ///< scrub totals
+  /// Observability capture (RecoveryOptions::obs_enabled): the probe is
+  /// single-threaded, so the journal IS the onset->repair story in step
+  /// order. Empty unless enabled.
+  obs::Sink obs;
 };
 
 /// One ramp level's outcome.

@@ -15,6 +15,27 @@ FaultableMemory::FaultableMemory(std::unique_ptr<pram::MemorySystem> inner,
       model_(spec, inner_ == nullptr ? 1 : inner_->num_modules()) {
   PRAMSIM_ASSERT(inner_ != nullptr);
   inner_injects_ = inner_->set_fault_hooks(&model_);
+  for (const auto module : model_.dead_modules()) {
+    onsets_.emplace_back(model_.module_onset(module), module.index());
+  }
+  std::sort(onsets_.begin(), onsets_.end());
+}
+
+void FaultableMemory::emit_onsets(std::uint64_t step) {
+  if constexpr (obs::kEnabled) {
+    if (observer() == nullptr) {
+      return;
+    }
+    while (onset_cursor_ < onsets_.size() &&
+           onsets_[onset_cursor_].first <= step) {
+      obs_event(obs::EventKind::kFaultOnset, onsets_[onset_cursor_].second,
+                0, onsets_[onset_cursor_].first);
+      obs_count("fault.onsets");
+      ++onset_cursor_;
+    }
+  } else {
+    (void)step;
+  }
 }
 
 ModuleId FaultableMemory::synthetic_module(VarId var) const {
@@ -27,6 +48,7 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
                                         std::span<pram::Word> read_values,
                                         std::span<const pram::VarWrite> writes) {
   const std::uint64_t step = advance_step_clock();
+  emit_onsets(step);
   pram::MemStepCost cost;
   // Reads flagged as known-bad (dead module / under-threshold block)
   // this step: excluded from the silent-wrong count — a flagged loss is
@@ -81,13 +103,19 @@ pram::MemStepCost FaultableMemory::step(std::span<const VarId> reads,
   // writes commit to the checker). Flagged reads are excluded from the
   // mismatch count — both injection regimes report exactly which reads
   // were served below threshold, so wrong_reads counts ONLY silent lies.
-  for (std::size_t i = 0; i < reads.size(); ++i) {
-    if (flagged_[i] != 0) {
-      (void)checker_.check_read(reads[i], checker_.expected(reads[i]));
-      continue;  // counted as checked-consistent: the loss was flagged
-    }
-    if (!checker_.check_read(reads[i], read_values[i])) {
-      ++wrapper_stats_.wrong_reads;
+  {
+    obs::ScopedPhase timer(obs_timing(), obs::Phase::kOracle);
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      if (flagged_[i] != 0) {
+        (void)checker_.check_read(reads[i], checker_.expected(reads[i]));
+        continue;  // counted as checked-consistent: the loss was flagged
+      }
+      if (!checker_.check_read(reads[i], read_values[i])) {
+        ++wrapper_stats_.wrong_reads;
+        obs_event(obs::EventKind::kWrongRead, reads[i].index(), 0,
+                  read_values[i], checker_.expected(reads[i]));
+        obs_count("oracle.wrong_reads");
+      }
     }
   }
 
@@ -105,6 +133,7 @@ pram::MemStepCost FaultableMemory::serve(const pram::AccessPlan& plan,
     return pram::MemorySystem::serve(plan, ctx);
   }
   advance_step_clock();
+  emit_onsets(steps_served());
   const pram::MemStepCost cost = inner_->serve(plan, ctx);
 
   // Mirror the context's outage flags (the inner scheme's view) so
@@ -118,14 +147,20 @@ pram::MemStepCost FaultableMemory::serve(const pram::AccessPlan& plan,
   // Oracle pass, identical to step()'s: flagged losses are outages, not
   // lies; everything else must match the trace-consistency expectation.
   const std::span<pram::Word> read_values = ctx.read_values();
-  for (std::size_t i = 0; i < plan.reads.size(); ++i) {
-    if (flagged_[i] != 0) {
-      (void)checker_.check_read(plan.reads[i],
-                                checker_.expected(plan.reads[i]));
-      continue;
-    }
-    if (!checker_.check_read(plan.reads[i], read_values[i])) {
-      ++wrapper_stats_.wrong_reads;
+  {
+    obs::ScopedPhase timer(obs_timing(), obs::Phase::kOracle);
+    for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+      if (flagged_[i] != 0) {
+        (void)checker_.check_read(plan.reads[i],
+                                  checker_.expected(plan.reads[i]));
+        continue;
+      }
+      if (!checker_.check_read(plan.reads[i], read_values[i])) {
+        ++wrapper_stats_.wrong_reads;
+        obs_event(obs::EventKind::kWrongRead, plan.reads[i].index(), 0,
+                  read_values[i], checker_.expected(plan.reads[i]));
+        obs_count("oracle.wrong_reads");
+      }
     }
   }
   for (const auto& write : plan.writes) {

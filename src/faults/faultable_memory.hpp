@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "faults/fault_model.hpp"
 #include "faults/trace_checker.hpp"
@@ -47,7 +49,6 @@ class FaultableMemory final : public pram::MemorySystem {
   /// the plan through step(), which degrades traffic externally.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
                           pram::ServeContext& ctx) override;
-  using pram::MemorySystem::serve;
 
   /// Plan grouping passes through under replica-level injection (the
   /// plan reaches the inner scheme verbatim); wrapper-level injection
@@ -93,6 +94,14 @@ class FaultableMemory final : public pram::MemorySystem {
     return inner_->adversarial_vars(count, seed);
   }
   [[nodiscard]] pram::ReliabilityStats reliability() const override;
+
+  /// One sink observes both layers: the wrapper's oracle/onset events
+  /// and the inner scheme's vote/decode/scrub events land in the same
+  /// journal (the step-stamp orders them).
+  void set_observer(obs::Sink* sink) override {
+    pram::MemorySystem::set_observer(sink);
+    inner_->set_observer(sink);
+  }
   /// Background repair passes through to the wrapped scheme (replica-
   /// level injection repairs at copy/share granularity; wrapper-level
   /// schemes have nothing to rebuild from, so the pass is a no-op).
@@ -124,12 +133,21 @@ class FaultableMemory final : public pram::MemorySystem {
   /// schemes that expose no map of their own.
   [[nodiscard]] ModuleId synthetic_module(VarId var) const;
 
+  /// Journal every fault onset the step clock has crossed (kFaultOnset,
+  /// once per dead module). The cursor only advances while a sink is
+  /// attached, so a sink attached mid-run still sees every onset.
+  void emit_onsets(std::uint64_t step);
+
   std::unique_ptr<pram::MemorySystem> inner_;
   FaultModel model_;
   TraceChecker checker_;
   bool inner_injects_ = false;
   pram::ReliabilityStats wrapper_stats_;
   std::vector<std::uint8_t> flagged_;  ///< last step's outage flags
+  /// The realized kill set as (onset step, module), sorted by onset —
+  /// the emit_onsets cursor walks it as the step clock advances.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> onsets_;
+  std::size_t onset_cursor_ = 0;
 };
 
 }  // namespace pramsim::faults

@@ -26,6 +26,9 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
                                  std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
   advance_step_clock();
+  obs_count("hashed.steps");
+  obs_count("hashed.reads", reads.size());
+  obs_count("hashed.writes", writes.size());
   // Distinct variables touched this step, per module.
   std::unordered_map<std::uint32_t, std::uint32_t> load;
   std::unordered_set<std::uint32_t> seen;
@@ -70,6 +73,8 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
     // one extra max_load of time and count the event.
     hash_ = PolynomialHash(config_.k_wise, config_.n_modules, rng_);
     ++rehashes_;
+    obs_event(obs::EventKind::kRehash, rehashes_, 0, max_load);
+    obs_count("hashed.rehashes");
   }
 
   return pram::MemStepCost{.time = max_load,
@@ -84,6 +89,9 @@ pram::MemStepCost MvMemory::serve(const pram::AccessPlan& plan,
   PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
   advance_step_clock();
   ctx.stamp_step(steps_served());
+  obs_count("hashed.steps");
+  obs_count("hashed.reads", plan.reads.size());
+  obs_count("hashed.writes", plan.writes.size());
 
   if (backend_ == pram::ServeBackend::kGroupParallel && plan.grouped()) {
     return serve_groups_parallel(plan, ctx);
@@ -126,6 +134,8 @@ pram::MemStepCost MvMemory::serve(const pram::AccessPlan& plan,
   if (config_.rehash_threshold != 0 && max_load > config_.rehash_threshold) {
     hash_ = PolynomialHash(config_.k_wise, config_.n_modules, rng_);
     ++rehashes_;
+    obs_event(obs::EventKind::kRehash, rehashes_, 0, max_load);
+    obs_count("hashed.rehashes");
   }
   adopt_legacy_flags(ctx);
 

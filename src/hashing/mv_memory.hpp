@@ -46,7 +46,6 @@ class MvMemory final : public pram::MemorySystem {
   /// with per-chunk telemetry folded in chunk order.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
                           pram::ServeContext& ctx) override;
-  using pram::MemorySystem::serve;
 
   /// Group key = the copy's module. ONLY exposed on the group-parallel
   /// backend, which requires the rehash policy off: a redrawable hash

@@ -145,6 +145,8 @@ std::vector<pram::Word> IdaMemory::recover_block(std::uint64_t block,
       // from the interpolation like an erasure — the checksum turns
       // silent poison into a known-bad share.
       ++*erased;
+      obs_event(obs::EventKind::kChecksumReject, block, j);
+      obs_count("ida.checksum.rejects");
       continue;
     }
     if (is_stuck) {
@@ -201,8 +203,12 @@ std::vector<pram::Word> IdaMemory::decode_block(std::uint64_t block) {
       reliability_.shares_short +=
           config_.b - (config_.d - std::min(erased, config_.d));
       failed_blocks_.insert(block);
+      obs_event(obs::EventKind::kUncorrectable, block, erased, faulty);
+      obs_count("ida.blocks.lost");
     } else if (erased + faulty > 0) {
       degraded_blocks_.insert(block);
+      obs_event(obs::EventKind::kDegradedDecode, block, erased, faulty);
+      obs_count("ida.blocks.degraded");
     }
   }
   return vals;
@@ -259,6 +265,10 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
                                   std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
   advance_step_clock();
+  obs_count("ida.steps");
+  obs_count("ida.reads", reads.size());
+  obs_count("ida.writes", writes.size());
+  obs::PhaseSet* timing = obs_timing();
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
   failed_blocks_.clear();
@@ -310,8 +320,11 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
     charge_read_block(blk);
   }
   std::unordered_map<std::uint64_t, std::vector<pram::Word>> decoded;
-  for (const auto blk : read_blocks) {
-    decoded.emplace(blk, decode_block(blk));
+  {
+    obs::ScopedPhase timer(timing, obs::Phase::kDecode);
+    for (const auto blk : read_blocks) {
+      decoded.emplace(blk, decode_block(blk));
+    }
   }
   if (hooks_ != nullptr) {
     flagged_reads_.assign(reads.size(), 0);
@@ -339,6 +352,7 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
 
   // ---- phase 2: writes (read-modify-write per block) ---------------
   std::fill(module_load.begin(), module_load.end(), 0);
+  obs::ScopedPhase encode_timer(timing, obs::Phase::kEncode);
   for (const auto& [blk, idxs] : writes_by_block) {
     // The block must be fetched (b shares) unless this step already read
     // it, then re-encoded and fully rewritten (d shares).
@@ -375,6 +389,10 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
   PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
   advance_step_clock();
   ctx.stamp_step(steps_served());
+  obs_count("ida.steps");
+  obs_count("ida.reads", plan.reads.size());
+  obs_count("ida.writes", plan.writes.size());
+  obs::PhaseSet* timing = obs_timing();
   pram::MemStepCost cost;
   const std::uint64_t share_accesses_before = share_accesses_;
   failed_blocks_.clear();
@@ -476,32 +494,35 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
       charge_read_block(plan.group_keys[g]);
     }
   }
-  if (hooks_ == nullptr) {
-    // Healthy fast path: group keys ascend, and consecutive groups land
-    // block-major in decoded_store_, so each maximal run of consecutive
-    // read blocks inside one storage region recodes through ONE bulk
-    // decode_regions call over the stored share spans.
-    std::size_t g = 0;
-    while (g < n_groups) {
-      if (!group_has_read_[g]) {
-        ++g;
-        continue;
+  {
+    obs::ScopedPhase timer(timing, obs::Phase::kDecode);
+    if (hooks_ == nullptr) {
+      // Healthy fast path: group keys ascend, and consecutive groups land
+      // block-major in decoded_store_, so each maximal run of consecutive
+      // read blocks inside one storage region recodes through ONE bulk
+      // decode_regions call over the stored share spans.
+      std::size_t g = 0;
+      while (g < n_groups) {
+        if (!group_has_read_[g]) {
+          ++g;
+          continue;
+        }
+        const std::uint64_t blk0 = plan.group_keys[g];
+        std::uint32_t len = 1;
+        while (g + len < n_groups && group_has_read_[g + len] &&
+               plan.group_keys[g + len] == blk0 + len &&
+               region_of_block(blk0 + len) == region_of_block(blk0)) {
+          ++len;
+        }
+        decode_blocks_healthy(blk0, len,
+                              decoded_store_.data() + g * config_.b);
+        g += len;
       }
-      const std::uint64_t blk0 = plan.group_keys[g];
-      std::uint32_t len = 1;
-      while (g + len < n_groups && group_has_read_[g + len] &&
-             plan.group_keys[g + len] == blk0 + len &&
-             region_of_block(blk0 + len) == region_of_block(blk0)) {
-        ++len;
-      }
-      decode_blocks_healthy(blk0, len,
-                            decoded_store_.data() + g * config_.b);
-      g += len;
-    }
-  } else {
-    for (std::size_t g = 0; g < n_groups; ++g) {
-      if (group_has_read_[g]) {
-        decode_group(g);
+    } else {
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        if (group_has_read_[g]) {
+          decode_group(g);
+        }
       }
     }
   }
@@ -529,6 +550,7 @@ pram::MemStepCost IdaMemory::serve(const pram::AccessPlan& plan,
 
   // ---- phase 2: writes (read-modify-write per block) ---------------
   reset_loads();
+  obs::ScopedPhase encode_timer(timing, obs::Phase::kEncode);
   for (std::size_t g = 0; g < n_groups; ++g) {
     bool has_write = false;
     for (std::uint32_t j = plan.group_offsets[g];
@@ -619,6 +641,8 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
                                       config_.n_modules,
                                       config_.seed, block, j, modules,
                                       replacement)) {
+          obs_event(obs::EventKind::kRelocation, block, j,
+                    modules[j].index(), replacement.index());
           relocated_[block * config_.d + j] = replacement;
           modules[j] = replacement;
           ++relocated;
@@ -634,9 +658,11 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
       // materialized its region row), which relocation preserves — so
       // re-homing the dead shares restores full redundancy without
       // writing any share words.
-      if (relocate_dead() > 0) {
+      const std::uint32_t relocated = relocate_dead();
+      if (relocated > 0) {
         ++result.repaired;
         ++reliability_.units_repaired;
+        obs_event(obs::EventKind::kScrubRepair, block, relocated);
       }
       continue;
     }
@@ -650,7 +676,7 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
     if (!ok) {
       continue;  // below threshold: the block is lost, not repairable
     }
-    relocate_dead();
+    const std::uint32_t relocated = relocate_dead();
     // Re-disperse the reconstructed block onto the repaired placement
     // (a stuck share that silently joined the interpolation re-disperses
     // its poison — IDA scrubbing repairs erasures, not errors). Shares
@@ -660,6 +686,7 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
     result.work += config_.d;
     ++result.repaired;
     ++reliability_.units_repaired;
+    obs_event(obs::EventKind::kScrubRepair, block, relocated);
   }
   return result;
 }

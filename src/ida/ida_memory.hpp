@@ -81,7 +81,6 @@ class IdaMemory final : public pram::MemorySystem {
   /// kGroupParallel.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
                           pram::ServeContext& ctx) override;
-  using pram::MemorySystem::serve;
 
   /// Plans group by block: requests in one group share one decode.
   [[nodiscard]] std::uint64_t plan_group_of(VarId var) const override {

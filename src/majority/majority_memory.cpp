@@ -68,6 +68,10 @@ std::uint64_t MajorityMemory::degraded_serve(
   const std::uint32_t r = engine_->map().redundancy();
   const std::uint64_t stamp = steps_served();
   std::uint64_t fault_work = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t erased_total = 0;
+  std::uint64_t dropped = 0;
   std::vector<ModuleId> modules(r);
   flagged_reads_.assign(reads.size(), 0);
   for (std::size_t i = 0; i < reads.size(); ++i) {
@@ -78,22 +82,50 @@ std::uint64_t MajorityMemory::degraded_serve(
     reliability_.erasures_skipped += outcome.erased;
     reliability_.units_faulty += outcome.erased + outcome.dissenting;
     fault_work += outcome.survivors;
+    erased_total += outcome.erased;
     if (outcome.survivors == 0) {
       ++reliability_.uncorrectable;
       flagged_reads_[i] = 1;
+      ++uncorrectable;
+      obs_event(obs::EventKind::kUncorrectable, reads[i].index(),
+                outcome.erased, outcome.dissenting);
     } else if (outcome.erased + outcome.dissenting > 0) {
       ++reliability_.faults_masked;
+      ++masked;
+      obs_event(obs::EventKind::kDegradedVote, reads[i].index(),
+                outcome.erased, outcome.dissenting, outcome.survivors);
     }
   }
   for (std::size_t i = 0; i < writes.size(); ++i) {
     copies_into_current(writes[i].var, modules);
-    reliability_.writes_dropped +=
+    const std::uint32_t d =
         store_.store_all(writes[i].var, modules, writes[i].value, stamp,
                          stamp, stamp, *hooks_,
                          reliability_.corrupt_stores);
+    reliability_.writes_dropped += d;
+    dropped += d;
     fault_work += r;
   }
+  obs_degraded_counts(masked, uncorrectable, erased_total, dropped);
   return fault_work;
+}
+
+void MajorityMemory::obs_degraded_counts(std::uint64_t masked,
+                                         std::uint64_t uncorrectable,
+                                         std::uint64_t erased,
+                                         std::uint64_t dropped) const {
+  if (masked != 0) {
+    obs_count("majority.votes.masked", masked);
+  }
+  if (uncorrectable != 0) {
+    obs_count("majority.votes.uncorrectable", uncorrectable);
+  }
+  if (erased != 0) {
+    obs_count("majority.erasures", erased);
+  }
+  if (dropped != 0) {
+    obs_count("majority.stores.dropped", dropped);
+  }
 }
 
 pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
@@ -101,6 +133,10 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
                                        std::span<const pram::VarWrite> writes) {
   PRAMSIM_ASSERT(reads.size() == read_values.size());
   const std::uint64_t stamp = advance_step_clock();
+  obs_count("majority.steps");
+  obs_count("majority.reads", reads.size());
+  obs_count("majority.writes", writes.size());
+  obs::PhaseSet* timing = obs_timing();
 
   // Union of accessed variables: one protocol request per distinct var.
   // A variable that is both read and written this step is accessed once;
@@ -130,13 +166,18 @@ pram::MemStepCost MajorityMemory::step(std::span<const VarId> reads,
     write_req[i] = request_for(writes[i].var, pram::AccessOp::kWrite);
   }
 
-  const EngineResult result = engine_->run_step(requests);
+  EngineResult result;
+  {
+    obs::ScopedPhase timer(timing, obs::Phase::kEngineSchedule);
+    result = engine_->run_step(requests);
+  }
   time_stats_.add(static_cast<double>(result.time));
   last_stats_ = result.stats;
 
   const std::uint32_t r = engine_->map().redundancy();
   std::uint64_t fault_work = 0;
   flagged_reads_.clear();
+  obs::ScopedPhase value_timer(timing, obs::Phase::kValuePhase);
   if (hooks_ == nullptr) {
     // Healthy protocol: reads take the freshest stamp among the >= c
     // accessed copies; writes stamp exactly the accessed copies.
@@ -168,6 +209,10 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
   PRAMSIM_ASSERT(plan.reads.size() == read_values.size());
   const std::uint64_t stamp = advance_step_clock();
   ctx.stamp_step(stamp);
+  obs_count("majority.steps");
+  obs_count("majority.reads", plan.reads.size());
+  obs_count("majority.writes", plan.writes.size());
+  obs::PhaseSet* timing = obs_timing();
 
   // The plan's request list IS the access union in step()'s order (reads
   // first, then write-only variables); requesters are synthesized
@@ -182,7 +227,10 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
 
   // The engine schedule is a global protocol over every request; it
   // stays on the serving thread under either backend.
-  engine_->run_step_into(request_scratch_, engine_scratch_);
+  {
+    obs::ScopedPhase timer(timing, obs::Phase::kEngineSchedule);
+    engine_->run_step_into(request_scratch_, engine_scratch_);
+  }
   const EngineResult& result = engine_scratch_;
   time_stats_.add(static_cast<double>(result.time));
   last_stats_ = result.stats;
@@ -190,6 +238,7 @@ pram::MemStepCost MajorityMemory::serve(const pram::AccessPlan& plan,
   const std::uint32_t r = engine_->map().redundancy();
   std::uint64_t fault_work = 0;
   flagged_reads_.clear();
+  obs::ScopedPhase value_timer(timing, obs::Phase::kValuePhase);
   // Fan the value phase only when the executor would actually hand out
   // more than one chunk: at one worker the plain read/write loops below
   // do the same work without the group indirection (identical values and
@@ -271,6 +320,10 @@ std::uint64_t MajorityMemory::serve_groups_parallel(
           : 1;
   const std::size_t chunk = (groups.size() + workers - 1) / workers;
   chunk_scratch_.assign(workers, {});
+  // Workers buffer journal events per chunk; the fold below appends them
+  // in chunk order so the journal matches the serial path (the per-step
+  // canonical sort makes intra-step order irrelevant).
+  const bool journal_events = obs::kEnabled && observer() != nullptr;
 
   auto body = [&](std::size_t g_lo, std::size_t g_hi) {
     ChunkTally& tally = chunk_scratch_[g_lo / chunk];
@@ -319,8 +372,19 @@ std::uint64_t MajorityMemory::serve_groups_parallel(
         if (outcome.survivors == 0) {
           ++tally.stats.uncorrectable;
           ctx.flag_read(j);
+          if (journal_events) {
+            tally.events.push_back(
+                {stamp, obs::EventKind::kUncorrectable, outcome.erased,
+                 plan.reads[j].index(), outcome.dissenting, 0});
+          }
         } else if (outcome.erased + outcome.dissenting > 0) {
           ++tally.stats.faults_masked;
+          if (journal_events) {
+            tally.events.push_back(
+                {stamp, obs::EventKind::kDegradedVote, outcome.erased,
+                 plan.reads[j].index(), outcome.dissenting,
+                 outcome.survivors});
+          }
         }
       }
       for (const std::uint32_t j : unit.requests) {
@@ -343,12 +407,25 @@ std::uint64_t MajorityMemory::serve_groups_parallel(
   }
 
   // Deterministic post-merge: chunk tallies fold in chunk order (every
-  // field is a commutative sum, so any worker count folds identically).
+  // field is a commutative sum, so any worker count folds identically;
+  // journal events re-sort canonically at step commit).
   std::uint64_t fault_work = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t erased_total = 0;
+  std::uint64_t dropped = 0;
   for (const auto& tally : chunk_scratch_) {
     reliability_.merge(tally.stats);
     fault_work += tally.fault_work;
+    masked += tally.stats.faults_masked;
+    uncorrectable += tally.stats.uncorrectable;
+    erased_total += tally.stats.erasures_skipped;
+    dropped += tally.stats.writes_dropped;
+    for (const auto& event : tally.events) {
+      obs_event(event.kind, event.entity, event.unit, event.a, event.b);
+    }
   }
+  obs_degraded_counts(masked, uncorrectable, erased_total, dropped);
   if (hooks_ != nullptr) {
     flagged_reads_.assign(ctx.flags().begin(), ctx.flags().end());
   }
@@ -483,6 +560,8 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
                                     engine_->map().num_modules(), map_salt_,
                                     var.index(), copy, modules,
                                     replacement)) {
+        obs_event(obs::EventKind::kRelocation, var.index(), copy,
+                  modules[copy].index(), replacement.index());
         relocated_[var.index() * r + copy] = replacement;
         modules[copy] = replacement;
         ++relocated;
@@ -496,6 +575,7 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
       if (relocated > 0) {
         ++result.repaired;
         ++reliability_.units_repaired;
+        obs_event(obs::EventKind::kScrubRepair, var.index(), relocated);
       }
       continue;
     }
@@ -511,6 +591,7 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
     result.work += r - dropped;
     ++result.repaired;
     ++reliability_.units_repaired;
+    obs_event(obs::EventKind::kScrubRepair, var.index(), relocated);
   }
   return result;
 }

@@ -55,7 +55,6 @@ class MajorityMemory final : public pram::MemorySystem {
   /// chunk order, so results are bit-identical at any worker count.
   pram::MemStepCost serve(const pram::AccessPlan& plan,
                           pram::ServeContext& ctx) override;
-  using pram::MemorySystem::serve;
 
   /// Group-parallel work units are module groups keyed by the variable's
   /// FIRST mapped copy module (the base map's placement; scrub
@@ -143,6 +142,11 @@ class MajorityMemory final : public pram::MemorySystem {
   /// first relocation.
   void copies_into_current(VarId var, std::span<ModuleId> out) const;
 
+  /// Bump the degraded-protocol obs counters (shared by the serial loop
+  /// and the group-parallel fold so both backends report identically).
+  void obs_degraded_counts(std::uint64_t masked, std::uint64_t uncorrectable,
+                           std::uint64_t erased, std::uint64_t dropped) const;
+
   /// Group-parallel value phase shared by the healthy and degraded
   /// serve paths: fan the plan's groups across ctx.executor()'s workers
   /// (chunk telemetry folded in chunk order afterwards).
@@ -165,6 +169,10 @@ class MajorityMemory final : public pram::MemorySystem {
   struct ChunkTally {
     pram::ReliabilityStats stats;
     std::uint64_t fault_work = 0;
+    /// Journal events recorded by this chunk's worker; appended to the
+    /// sink in chunk order after the fan-out so group-parallel journals
+    /// match serial ones (the per-step canonical sort does the rest).
+    std::vector<obs::Event> events;
   };
   std::vector<ChunkTally> chunk_scratch_;
   const pram::FaultHooks* hooks_ = nullptr;  ///< non-owning; null = healthy

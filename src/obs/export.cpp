@@ -1,0 +1,220 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace pramsim::obs {
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string dbl(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// "a.b.c" -> "a_b_c" for Prometheus metric names.
+std::string promify(std::string name) {
+  std::replace(name.begin(), name.end(), '.', '_');
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+void append_histogram(std::string& out, const Histogram& h,
+                      bool include_timings) {
+  out += "{\"count\": " + u64(h.count) + ", \"sum\": " + u64(h.sum) +
+         ", \"min\": " + u64(h.count == 0 ? 0 : h.min) +
+         ", \"max\": " + u64(h.max);
+  if (include_timings) {
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+      if (h.buckets[k] == 0) {
+        continue;
+      }
+      out += std::string(first ? "" : ", ") + "[" +
+             u64(Histogram::bucket_floor(k)) + ", " + u64(h.buckets[k]) +
+             "]";
+      first = false;
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_json(Sink& sink, const SnapshotOptions& options) {
+  sink.journal.flush();
+  std::string out = "{\"obs_schema_version\": " +
+                    std::to_string(kObsSchemaVersion) +
+                    ", \"compiled\": " + (kEnabled ? "true" : "false") +
+                    ", \"sample_interval\": " +
+                    std::to_string(sink.options().sample_interval) +
+                    ", \"manifest\": " +
+                    (options.manifest_json.empty() ? "null"
+                                                   : options.manifest_json);
+
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : sink.metrics.counters()) {
+    out += std::string(first ? "" : ", ") + "\"" + util::json_escape(name) +
+           "\": " + u64(value);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : sink.metrics.gauges()) {
+    out += std::string(first ? "" : ", ") + "\"" + util::json_escape(name) +
+           "\": " + dbl(value);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : sink.metrics.histograms()) {
+    out += std::string(first ? "" : ", ") + "\"" + util::json_escape(name) +
+           "\": ";
+    append_histogram(out, histogram, /*include_timings=*/true);
+    first = false;
+  }
+
+  out += "}, \"phases\": [";
+  first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseStats& s = sink.phases.stats[i];
+    if (s.count == 0) {
+      continue;
+    }
+    out += std::string(first ? "" : ", ") + "{\"phase\": \"" +
+           to_string(static_cast<Phase>(i)) + "\", \"count\": " +
+           u64(s.count);
+    if (options.include_timings) {
+      out += ", \"total_ns\": " + u64(s.total_ns) +
+             ", \"min_ns\": " + u64(s.min_ns) +
+             ", \"max_ns\": " + u64(s.max_ns);
+    }
+    out += "}";
+    first = false;
+  }
+
+  out += "], \"journal\": {\"capacity\": " + u64(sink.journal.capacity()) +
+         ", \"recorded\": " + u64(sink.journal.recorded()) +
+         ", \"dropped\": " + u64(sink.journal.dropped()) + ", \"events\": [";
+  first = true;
+  for (const Event& e : sink.journal.events()) {
+    out += std::string(first ? "" : ", ") + "{\"step\": " + u64(e.step) +
+           ", \"kind\": \"" + to_string(e.kind) + "\", \"entity\": " +
+           u64(e.entity) + ", \"unit\": " + std::to_string(e.unit) +
+           ", \"a\": " + u64(e.a) + ", \"b\": " + u64(e.b) + "}";
+    first = false;
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string to_prometheus(Sink& sink, const std::string& prefix) {
+  sink.journal.flush();
+  std::string out;
+  for (const auto& [name, value] : sink.metrics.counters()) {
+    const std::string metric = prefix + "_" + promify(name);
+    out += "# TYPE " + metric + " counter\n" + metric + " " + u64(value) +
+           "\n";
+  }
+  for (const auto& [name, value] : sink.metrics.gauges()) {
+    const std::string metric = prefix + "_" + promify(name);
+    out += "# TYPE " + metric + " gauge\n" + metric + " " + dbl(value) +
+           "\n";
+  }
+  for (const auto& [name, h] : sink.metrics.histograms()) {
+    const std::string metric = prefix + "_" + promify(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+      if (h.buckets[k] == 0) {
+        continue;
+      }
+      cumulative += h.buckets[k];
+      out += metric + "_bucket{le=\"" +
+             u64(k + 1 < kHistogramBuckets
+                     ? Histogram::bucket_floor(k + 1) - 1
+                     : ~0ULL) +
+             "\"} " + u64(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + u64(h.count) + "\n" + metric +
+           "_sum " + u64(h.sum) + "\n" + metric + "_count " + u64(h.count) +
+           "\n";
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseStats& s = sink.phases.stats[i];
+    if (s.count == 0) {
+      continue;
+    }
+    const std::string metric =
+        prefix + "_phase_" + promify(to_string(static_cast<Phase>(i)));
+    out += metric + "_count " + u64(s.count) + "\n" + metric +
+           "_total_ns " + u64(s.total_ns) + "\n";
+  }
+  out += prefix + "_journal_recorded " + u64(sink.journal.recorded()) +
+         "\n" + prefix + "_journal_dropped " + u64(sink.journal.dropped()) +
+         "\n";
+  return out;
+}
+
+std::vector<util::Table> to_tables(Sink& sink, std::size_t journal_tail) {
+  sink.journal.flush();
+  std::vector<util::Table> tables;
+
+  {
+    util::Table t({"metric", "value"});
+    t.set_title("obs counters & gauges");
+    for (const auto& [name, value] : sink.metrics.counters()) {
+      t.add_row({name, static_cast<std::int64_t>(value)});
+    }
+    for (const auto& [name, value] : sink.metrics.gauges()) {
+      t.add_row({name, value});
+    }
+    tables.push_back(std::move(t));
+  }
+
+  if (!sink.phases.empty()) {
+    util::Table t({"phase", "count", "total ms", "min us", "max us"});
+    t.set_title("phase breakdown (wall-clock; counts deterministic)");
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const PhaseStats& s = sink.phases.stats[i];
+      if (s.count == 0) {
+        continue;
+      }
+      t.add_row({to_string(static_cast<Phase>(i)),
+                 static_cast<std::int64_t>(s.count),
+                 static_cast<double>(s.total_ns) * 1e-6,
+                 static_cast<double>(s.min_ns) * 1e-3,
+                 static_cast<double>(s.max_ns) * 1e-3});
+    }
+    tables.push_back(std::move(t));
+  }
+
+  {
+    util::Table t({"step", "kind", "entity", "unit", "a", "b"});
+    t.set_title("journal tail (" + std::to_string(sink.journal.events().size()) +
+                " held, " + std::to_string(sink.journal.dropped()) +
+                " dropped)");
+    const auto events = sink.journal.events();
+    const std::size_t start =
+        events.size() > journal_tail ? events.size() - journal_tail : 0;
+    for (std::size_t i = start; i < events.size(); ++i) {
+      const Event& e = events[i];
+      t.add_row({static_cast<std::int64_t>(e.step), to_string(e.kind),
+                 static_cast<std::int64_t>(e.entity),
+                 static_cast<std::int64_t>(e.unit),
+                 static_cast<std::int64_t>(e.a),
+                 static_cast<std::int64_t>(e.b)});
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+}  // namespace pramsim::obs

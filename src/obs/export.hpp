@@ -1,0 +1,47 @@
+// Exporters for obs::Sink: a schema-versioned JSON snapshot (validated
+// by tools/check_obs_schema.py), Prometheus-style exposition text, and
+// human-readable util::Table dumps.
+//
+// The JSON snapshot with include_timings = false contains ONLY
+// deterministic sections (counters, gauges, histograms, phase counts,
+// journal) and is byte-comparable across worker counts and reruns —
+// determinism_test asserts on exactly this form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "util/table.hpp"
+
+namespace pramsim::obs {
+
+/// Version stamp written into every snapshot ("obs_schema_version").
+/// Bump whenever the snapshot layout or event vocabulary changes
+/// incompatibly (same discipline as bench::kBenchSchemaVersion).
+inline constexpr int kObsSchemaVersion = 1;
+
+struct SnapshotOptions {
+  /// Include wall-clock nanosecond fields (phase total/min/max ns,
+  /// histogram-of-ns entries). Off = the deterministic snapshot.
+  bool include_timings = true;
+  /// Optional preformatted JSON object describing the run (scheme spec,
+  /// seed, workers, ...) embedded as "manifest"; empty emits null.
+  std::string manifest_json;
+};
+
+/// Flushes the journal, then renders the snapshot (hence non-const).
+[[nodiscard]] std::string to_json(Sink& sink,
+                                  const SnapshotOptions& options = {});
+
+/// Prometheus exposition format: counters as `<prefix>_<name>` (dots ->
+/// underscores), gauges likewise, phases as _count/_total_ns pairs.
+[[nodiscard]] std::string to_prometheus(
+    Sink& sink, const std::string& prefix = "pramsim");
+
+/// Human dump: a counters/gauges table, a phase table, and the journal
+/// tail (most recent events last), for examples and debugging.
+[[nodiscard]] std::vector<util::Table> to_tables(Sink& sink,
+                                                 std::size_t journal_tail = 16);
+
+}  // namespace pramsim::obs

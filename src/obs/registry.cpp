@@ -1,0 +1,17 @@
+#include "obs/registry.hpp"
+
+namespace pramsim::obs {
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] = value;
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].merge(histogram);
+  }
+}
+
+}  // namespace pramsim::obs

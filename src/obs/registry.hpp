@@ -1,0 +1,146 @@
+// The metrics registry: named counters, gauges, and log2-bucketed
+// histograms behind string_view lookups (heterogeneous map search — hot
+// paths never allocate a key on a hit).
+//
+// Determinism contract: counters and histograms are pure sums over the
+// run, accumulated into per-shard registries and folded in shard order
+// by Registry::merge — bit-identical totals at any worker count, the
+// same rule as every telemetry fold in this repo. Gauges are
+// last-writer-wins on merge (merge order is fixed, so still
+// deterministic). Iteration order is the sorted key order (std::map),
+// so every exporter emits a canonical byte stream.
+//
+// Naming convention (docs/observability.md): lowercase dotted
+// `subsystem.noun[.verb]`, e.g. "serve.steps", "serve.reads",
+// "scrub.passes", "fault.onsets".
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pramsim::obs {
+
+inline constexpr std::size_t kHistogramBuckets = 66;
+
+/// Log2-bucketed histogram of unsigned samples: bucket 0 holds value 0,
+/// bucket k >= 1 holds values in [2^(k-1), 2^k).
+struct Histogram {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~0ULL;  ///< ~0 until the first observation
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) {
+    if (value == 0) {
+      return 0;
+    }
+    std::size_t bucket = 1;
+    while (value >>= 1) {
+      ++bucket;
+    }
+    return bucket;
+  }
+
+  /// Lower bound of bucket k (0, then 1, 2, 4, 8, ...).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t bucket) {
+    return bucket == 0 ? 0 : 1ULL << (bucket - 1);
+  }
+
+  void observe(std::uint64_t value) {
+    ++count;
+    sum += value;
+    if (value < min) {
+      min = value;
+    }
+    if (value > max) {
+      max = value;
+    }
+    ++buckets[bucket_of(value)];
+  }
+
+  void merge(const Histogram& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) {
+      min = other.min;
+    }
+    if (other.max > max) {
+      max = other.max;
+    }
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+};
+
+class Registry {
+ public:
+  using CounterMap = std::map<std::string, std::uint64_t, std::less<>>;
+  using GaugeMap = std::map<std::string, double, std::less<>>;
+  using HistogramMap = std::map<std::string, Histogram, std::less<>>;
+
+  /// Stable reference to a named counter (created at 0 on first use);
+  /// references survive later insertions (std::map node stability).
+  [[nodiscard]] std::uint64_t& counter(std::string_view name) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      return it->second;
+    }
+    return counters_.emplace(std::string(name), 0).first->second;
+  }
+
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    counter(name) += delta;
+  }
+
+  void set_gauge(std::string_view name, double value) {
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+      it->second = value;
+      return;
+    }
+    gauges_.emplace(std::string(name), value);
+  }
+
+  void observe(std::string_view name, std::uint64_t value) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      it->second.observe(value);
+      return;
+    }
+    histograms_.emplace(std::string(name), Histogram{}).first->second.observe(
+        value);
+  }
+
+  [[nodiscard]] const CounterMap& counters() const { return counters_; }
+  [[nodiscard]] const GaugeMap& gauges() const { return gauges_; }
+  [[nodiscard]] const HistogramMap& histograms() const {
+    return histograms_;
+  }
+
+  /// Fold `other` into this registry: counters and histograms sum,
+  /// gauges take `other`'s value. Call in a fixed order (shard order).
+  void merge(const Registry& other);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap histograms_;
+};
+
+}  // namespace pramsim::obs

@@ -1,0 +1,71 @@
+// obs::Sink — the per-run observability surface a MemorySystem (and the
+// driver around it) writes into: a metrics Registry, a phase-timing
+// table, and the deterministic event Journal, bundled so one
+// set_observer(&sink) attaches all three.
+//
+// Ownership and threading: the sink is caller-owned (the driver keeps
+// one per shard and folds them in shard order) and single-writer per
+// component — Registry and Journal are written only by the serving
+// thread; PhaseSet rows are single-writer per phase (the plan-generator
+// thread records only kPlanBuild).
+//
+// The determinism split, engine-wide: `metrics` (counters/histograms)
+// and `journal` are bit-identical at any worker count and across reruns
+// of the same seed; `phases` carries wall-clock nanoseconds and only its
+// COUNTS join that contract. Exporters honor the split
+// (SnapshotOptions::include_timings).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/journal.hpp"
+#include "obs/phase.hpp"
+#include "obs/registry.hpp"
+
+namespace pramsim::obs {
+
+struct SinkOptions {
+  /// Phase-timer sampling: step s is timed when s % sample_interval == 0
+  /// (1 = every step, 0 = never — counters and journal stay on).
+  /// Sampling changes phase COUNTS deterministically, never contents of
+  /// the metrics/journal sections.
+  std::uint32_t sample_interval = 1;
+  std::size_t journal_capacity = Journal::kDefaultCapacity;
+};
+
+class Sink {
+  SinkOptions options_;
+
+ public:
+  Sink() = default;
+  explicit Sink(const SinkOptions& options)
+      : options_(options), journal(options.journal_capacity) {}
+
+  Registry metrics;
+  PhaseSet phases;
+  Journal journal;
+
+  /// Should phase timers fire for engine step `step`?
+  [[nodiscard]] bool sample(std::uint64_t step) const {
+    return options_.sample_interval != 0 &&
+           step % options_.sample_interval == 0;
+  }
+
+  [[nodiscard]] const SinkOptions& options() const { return options_; }
+
+  /// Fold `other` into this sink (deterministic when callers merge in a
+  /// fixed order, as the driver does shard by shard).
+  void merge(const Sink& other) {
+    metrics.merge(other.metrics);
+    phases.merge(other.phases);
+    journal.merge(other.journal);
+  }
+
+  [[nodiscard]] bool empty() const {
+    return metrics.empty() && phases.empty() && journal.size() == 0 &&
+           journal.dropped() == 0;
+  }
+};
+
+}  // namespace pramsim::obs

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "pram/access_plan.hpp"
 #include "pram/faults.hpp"
 #include "pram/serve_context.hpp"
@@ -132,20 +133,6 @@ class MemorySystem {
     return cost;
   }
 
-  /// DEPRECATED two-arg entry, kept as a non-virtual adapter so pre-v2
-  /// call sites keep working: wraps `read_values` in a throwaway
-  /// ServeContext (no executor, flags discarded after the call — read
-  /// them via flagged_reads() as before). New code should own a
-  /// ServeContext and call serve(plan, ctx).
-  ///
-  /// SCHEDULED FOR REMOVAL: every in-repo caller has migrated to the
-  /// ServeContext overload; this adapter survives one deprecation cycle
-  /// for out-of-tree code and then goes away. Do not add new callers.
-  MemStepCost serve(const AccessPlan& plan, std::span<Word> read_values) {
-    ServeContext ctx(read_values);
-    return serve(plan, ctx);
-  }
-
   /// Stable per-variable grouping key for plan building (target module /
   /// block / shard). Must be immutable for the memory's lifetime and safe
   /// to call concurrently with serve()/step() — the plan generator thread
@@ -261,6 +248,18 @@ class MemorySystem {
     return {};
   }
 
+  /// Attach (or detach, with nullptr) an observability sink. The sink is
+  /// caller-owned and must outlive the attachment; schemes write
+  /// counters, phase timings, and journal events into it while serving.
+  /// Attach before serving traffic, like set_fault_hooks. Wrappers
+  /// forward the attachment to their inner memory so both layers report
+  /// into one sink. A no-op (hooks compile away) when obs::kEnabled is
+  /// false.
+  virtual void set_observer(obs::Sink* sink) { obs_ = sink; }
+
+  /// The currently attached sink (nullptr when none).
+  [[nodiscard]] obs::Sink* observer() const { return obs_; }
+
  protected:
   /// Advance the engine step clock by one P-RAM step and return the new
   /// stamp. Called exactly once per served step, by whichever entry
@@ -283,6 +282,45 @@ class MemorySystem {
       }
     }
   }
+
+  // ----- observability hook helpers (no-ops unless a sink is attached,
+  // and compiled away entirely under PRAMSIM_OBS=OFF) -------------------
+
+  /// Record a journal event stamped with the current step clock.
+  void obs_event(obs::EventKind kind, std::uint64_t entity,
+                 std::uint32_t unit = 0, std::uint64_t a = 0,
+                 std::uint64_t b = 0) const {
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        obs_->journal.append(steps_served(), kind, entity, unit, a, b);
+      }
+    }
+  }
+
+  /// Bump a named counter.
+  void obs_count(std::string_view name, std::uint64_t delta = 1) const {
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        obs_->metrics.add(name, delta);
+      }
+    }
+  }
+
+  /// Phase-timer target for the current step: the attached sink's phase
+  /// table when this step is sampled, nullptr otherwise (ScopedPhase on a
+  /// nullptr set performs zero clock reads).
+  [[nodiscard]] obs::PhaseSet* obs_timing() const {
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr && obs_->sample(steps_served())) {
+        return &obs_->phases;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Attached sink; pointer (not owned) so const serve paths can write
+  /// telemetry through it.
+  obs::Sink* obs_ = nullptr;
 
  private:
   std::uint64_t step_clock_ = 0;  ///< P-RAM steps served (fault clock)

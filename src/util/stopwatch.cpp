@@ -1,0 +1,39 @@
+#include "util/stopwatch.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace pramsim::util {
+
+namespace {
+std::atomic<bool> g_fake_active{false};
+std::atomic<std::uint64_t> g_fake_now{0};
+std::atomic<std::uint64_t> g_fake_tick{0};
+}  // namespace
+
+std::uint64_t Stopwatch::now_ns() {
+  if (g_fake_active.load(std::memory_order_relaxed)) {
+    return g_fake_now.fetch_add(g_fake_tick.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_fake_clock_override(std::uint64_t start_ns, std::uint64_t tick_ns) {
+  g_fake_now.store(start_ns, std::memory_order_relaxed);
+  g_fake_tick.store(tick_ns, std::memory_order_relaxed);
+  g_fake_active.store(true, std::memory_order_relaxed);
+}
+
+void clear_fake_clock_override() {
+  g_fake_active.store(false, std::memory_order_relaxed);
+}
+
+bool fake_clock_active() {
+  return g_fake_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace pramsim::util

@@ -1,0 +1,47 @@
+// Monotonic nanosecond stopwatch — the one timing primitive for benches
+// and the obs phase tracers, replacing ad-hoc std::chrono plumbing.
+//
+// Deterministic fake-clock override (mirroring
+// util::set_parallel_workers_override): tests that assert on timing
+// output install a fake clock whose now_ns() advances by a fixed tick
+// per query, so "elapsed" values are exact and reproducible. The
+// override is process-global and NOT meant for concurrent timing — a
+// ticking global makes durations interleaving-dependent — it exists so
+// single-threaded timing-dependent tests stop being flaky, not to make
+// wall-clock deterministic in general.
+#pragma once
+
+#include <cstdint>
+
+namespace pramsim::util {
+
+class Stopwatch {
+ public:
+  /// Starts running at construction.
+  Stopwatch() : start_(now_ns()) {}
+
+  void restart() { start_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return now_ns() - start_;
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+  /// The clock itself: steady_clock nanoseconds, or the fake clock when
+  /// an override is installed (each query advances it by one tick).
+  [[nodiscard]] static std::uint64_t now_ns();
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Install the deterministic fake clock: now_ns() returns start_ns,
+/// start_ns + tick_ns, start_ns + 2 * tick_ns, ... until cleared.
+void set_fake_clock_override(std::uint64_t start_ns, std::uint64_t tick_ns);
+void clear_fake_clock_override();
+[[nodiscard]] bool fake_clock_active();
+
+}  // namespace pramsim::util

@@ -5,11 +5,13 @@
 // and with the double-buffered plan generator on or off.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
+#include "obs/export.hpp"
 #include "util/parallel.hpp"
 
 namespace pramsim {
@@ -177,6 +179,62 @@ TEST(Determinism, ScrubbedGroupParallelStressBitIdenticalAcrossWorkerCounts) {
     options.double_buffer = false;
     const auto unbuffered = pipeline.run_with_faults(fault_spec, options);
     expect_identical(serial, unbuffered, core::to_string(kind));
+  }
+}
+
+// ----- observability: the metrics + journal determinism contract -------
+
+// The deterministic obs snapshot (include_timings = false: counters,
+// gauges, histograms, phase counts, journal contents) must be BYTE
+// identical across executor worker counts {1, 2, 4} and across reruns of
+// the same seed — the per-shard sinks fold in shard order, and the
+// journal commits each step in canonical order regardless of how the
+// group fan-out interleaved.
+TEST(Determinism, ObsSnapshotBitIdenticalAcrossWorkersAndReruns) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "compiled with PRAMSIM_OBS=OFF";
+  }
+  WorkerOverrideGuard guard;
+  for (const auto kind :
+       {core::SchemeKind::kDmmpc, core::SchemeKind::kHashed}) {
+    core::SchemeSpec spec{.kind = kind, .n = 16, .seed = 3};
+    spec.backend = pram::ServeBackend::kGroupParallel;
+    core::SimulationPipeline pipeline(spec);
+    const faults::FaultSpec fault_spec{.seed = 41,
+                                       .module_kill_rate = 0.25,
+                                       .corruption_rate = 0.1,
+                                       .onset_min = 2,
+                                       .onset_max = 5};
+    core::StressOptions options{.steps_per_family = 6, .seed = 13,
+                                .trials = 2};
+    options.scrub_interval = 2;
+    options.scrub_budget = 64;
+    options.obs_enabled = true;
+
+    obs::SnapshotOptions snapshot;
+    snapshot.include_timings = false;
+
+    std::string reference;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      util::set_parallel_workers_override(workers);
+      auto run = pipeline.run_with_faults(fault_spec, options);
+      const std::string json = obs::to_json(run.obs, snapshot);
+      if (reference.empty()) {
+        reference = json;
+        EXPECT_NE(reference.find("\"events\": [{"), std::string::npos)
+            << core::to_string(kind) << ": journal should not be empty";
+      } else {
+        EXPECT_EQ(json, reference)
+            << core::to_string(kind) << " at " << workers << " workers";
+      }
+    }
+    util::set_parallel_workers_override(0);
+
+    // Rerun at the automatic worker policy: still byte-identical.
+    auto rerun = pipeline.run_with_faults(fault_spec, options);
+    EXPECT_EQ(obs::to_json(rerun.obs, snapshot), reference)
+        << core::to_string(kind) << " rerun";
   }
 }
 

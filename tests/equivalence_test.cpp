@@ -18,6 +18,7 @@
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
 #include "faults/faultable_memory.hpp"
+#include "obs/sink.hpp"
 #include "pram/machine.hpp"
 #include "pram/programs.hpp"
 #include "pram/trace.hpp"
@@ -205,6 +206,67 @@ TEST_P(AllKindsTest, FaultWrapperAtRateZeroIsTransparent) {
     EXPECT_EQ(stats.writes_dropped, 0u) << core::to_string(kind());
     EXPECT_EQ(observer->model().dead_module_count(), 0u);
   }
+}
+
+// Observability must be a pure observer: attaching a sink (metrics +
+// phase timers + journal) to the rate-zero fault wrapper changes NO
+// served value, and a healthy run journals no fault-kind events — the
+// only counters that move are the benign serving tallies.
+TEST_P(AllKindsTest, ObservedWrapperAtRateZeroStaysTransparent) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "compiled with PRAMSIM_OBS=OFF";
+  }
+  const std::uint32_t n = 16;
+  const std::uint64_t program_seed = 13;
+  auto ideal_spec = pram::programs::random_exclusive(n, 12, program_seed);
+  auto sim_spec = pram::programs::random_exclusive(n, 12, program_seed);
+
+  pram::MachineConfig cfg;
+  cfg.n_processors = n;
+  cfg.m_shared_cells = ideal_spec.m_required;
+  cfg.policy = pram::ConflictPolicy::kErew;
+
+  const faults::FaultSpec inert{.seed = 77};
+  auto faultable = std::make_unique<faults::FaultableMemory>(
+      core::make_memory({.kind = kind(),
+                         .n = n,
+                         .seed = 5,
+                         .min_vars = ideal_spec.m_required,
+                         .region_words = width()}),
+      inert);
+  obs::Sink sink;
+  faultable->set_observer(&sink);
+
+  pram::Machine ideal(cfg, std::move(ideal_spec.program));
+  pram::Machine simulated(cfg, std::move(sim_spec.program),
+                          std::move(faultable));
+
+  util::Rng init(program_seed * 977 + 1);
+  for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
+    const auto v = static_cast<pram::Word>(init.below(1000));
+    ideal.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
+    simulated.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
+  }
+  ASSERT_TRUE(ideal.run().completed());
+  ASSERT_TRUE(simulated.run().completed()) << core::to_string(kind());
+  for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
+    ASSERT_EQ(ideal.shared(VarId(static_cast<std::uint32_t>(i))),
+              simulated.shared(VarId(static_cast<std::uint32_t>(i))))
+        << core::to_string(kind()) << " cell " << i;
+  }
+
+  // A healthy observed run journals nothing alarming: no onsets, no
+  // degraded votes/decodes, no wrong reads, no relocations.
+  sink.journal.flush();
+  for (const auto& event : sink.journal.events()) {
+    EXPECT_TRUE(event.kind == obs::EventKind::kRehash)
+        << core::to_string(kind()) << " journaled "
+        << obs::to_string(event.kind);
+  }
+  EXPECT_EQ(sink.metrics.counters().count("oracle.wrong_reads"), 0u)
+      << core::to_string(kind());
+  EXPECT_EQ(sink.metrics.counters().count("fault.onsets"), 0u)
+      << core::to_string(kind());
 }
 
 INSTANTIATE_TEST_SUITE_P(

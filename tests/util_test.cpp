@@ -13,6 +13,7 @@
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strong_id.hpp"
 #include "util/table.hpp"
 
@@ -384,6 +385,31 @@ TEST(StrongId, DistinctTypesAndOrdering) {
   EXPECT_EQ(p1.index(), 3u);
   static_assert(!std::is_convertible_v<ProcId, ModuleId>);
   static_assert(!std::is_convertible_v<std::uint32_t, ProcId>);
+}
+
+// ----------------------------------------------------------- stopwatch ---
+
+TEST(Stopwatch, FakeClockMakesElapsedExact) {
+  set_fake_clock_override(/*start_ns=*/500, /*tick_ns=*/10);
+  ASSERT_TRUE(fake_clock_active());
+  // Construction reads the clock once; each elapsed query reads it once
+  // more, so consecutive reads advance by exactly one tick.
+  Stopwatch watch;
+  EXPECT_EQ(watch.elapsed_ns(), 10u);
+  EXPECT_EQ(watch.elapsed_ns(), 20u);
+  watch.restart();
+  EXPECT_EQ(watch.elapsed_ns(), 10u);
+  // elapsed_seconds() is one more clock query, so one more tick.
+  EXPECT_DOUBLE_EQ(watch.elapsed_seconds(), 20e-9);
+  clear_fake_clock_override();
+  EXPECT_FALSE(fake_clock_active());
+}
+
+TEST(Stopwatch, RealClockIsMonotone) {
+  const Stopwatch watch;
+  const auto first = watch.elapsed_ns();
+  const auto second = watch.elapsed_ns();
+  EXPECT_GE(second, first);
 }
 
 }  // namespace
