@@ -1,0 +1,507 @@
+#include "cache/cached_memory.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "memmap/memory_map.hpp"
+#include "util/assert.hpp"
+
+namespace pramsim::cache {
+
+namespace {
+
+/// Largest per-variable redundancy the precise died-since-fill check
+/// handles on the stack; wider maps fall back to the coarse epoch test
+/// (any death since fill invalidates).
+constexpr std::uint32_t kMaxMapRedundancy = 16;
+
+}  // namespace
+
+CachedMemory::CachedMemory(std::unique_ptr<pram::MemorySystem> inner,
+                           CacheConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  PRAMSIM_ASSERT_MSG(config_.capacity >= 1,
+                     "cache capacity must be >= 1 line");
+  // Lines and the index grow on demand (a capacity of millions of lines
+  // should not allocate until the working set actually reaches it).
+  lines_.reserve(std::min<std::uint64_t>(config_.capacity, 1024));
+  index_.reserve(std::min<std::uint64_t>(config_.capacity, 1u << 16));
+}
+
+void CachedMemory::begin_step() {
+  arena_.reset();
+  residual_reads_.clear();
+  residual_to_outer_.clear();
+  fill_slot_.clear();
+  residual_writes_.clear();
+  residual_write_index_.clear();
+  residual_read_index_.clear();
+  step_stats_ = {};
+}
+
+void CachedMemory::refresh_fault_epoch(std::uint64_t now) {
+  if (hooks_ == nullptr) {
+    return;
+  }
+  const std::uint32_t n_modules = inner_->num_modules();
+  std::uint64_t dead = 0;
+  for (std::uint32_t m = 0; m < n_modules; ++m) {
+    if (hooks_->module_dead(ModuleId(m), now)) {
+      ++dead;
+    }
+  }
+  // Hooks are monotone in the step, so a grown dead count pins the most
+  // recent onset to this step (the first step that could observe it).
+  if (dead > dead_modules_seen_) {
+    dead_modules_seen_ = dead;
+    last_death_step_ = now;
+  }
+}
+
+CachedMemory::Staleness CachedMemory::classify_line(Line& line,
+                                                    std::uint64_t now) {
+  if (line.dirty != 0) {
+    // The cache holds the only up-to-date copy of a dirty value (the
+    // inner scheme never saw the store); re-serving it from degraded
+    // storage would manufacture exactly the silent wrong read the
+    // oracle exists to catch. Dirty lines are therefore never stale.
+    return Staleness::kFresh;
+  }
+  if (line.fill_step < reloc_stamp_) {
+    return Staleness::kRelocated;
+  }
+  if (hooks_ == nullptr || line.fill_step >= last_death_step_) {
+    return Staleness::kFresh;
+  }
+  // A module died after this line was filled. When the inner scheme
+  // exposes its variable->modules map, check whether any module actually
+  // backing THIS variable died in (fill, now]; exonerated lines are
+  // re-stamped so the scan is not repeated every step.
+  const memmap::MemoryMap* map = inner_->memory_map();
+  if (map != nullptr && map->num_vars() == inner_->size() &&
+      map->redundancy() >= 1 && map->redundancy() <= kMaxMapRedundancy) {
+    ModuleId modules[kMaxMapRedundancy];
+    const std::span<ModuleId> backing(modules, map->redundancy());
+    map->copies_into(line.var, backing);
+    bool died_since_fill = false;
+    for (const auto module : backing) {
+      if (hooks_->module_dead(module, now) &&
+          !hooks_->module_dead(module, line.fill_step)) {
+        died_since_fill = true;
+        break;
+      }
+    }
+    if (!died_since_fill) {
+      line.fill_step = now;
+      return Staleness::kFresh;
+    }
+  }
+  return Staleness::kDeadBacking;
+}
+
+void CachedMemory::classify_reads(std::span<const VarId> reads,
+                                  std::span<pram::Word> out,
+                                  std::uint64_t now) {
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const VarId var = reads[i];
+    const auto it = index_.find(var.index());
+    if (it != index_.end()) {
+      Line& line = lines_[it->second];
+      const Staleness state = classify_line(line, now);
+      if (state == Staleness::kFresh) {
+        out[i] = line.value;
+        line.ref = 1;
+        line.touch_step = now;
+        ++step_stats_.hits;
+        continue;
+      }
+      // Stale clean line: invalidate, then re-serve the read as a miss.
+      ++step_stats_.invalidations;
+      if (state == Staleness::kDeadBacking) {
+        obs_event(obs::EventKind::kCacheInvalidateDead, var.index(), 0,
+                  line.fill_step, now);
+      } else {
+        obs_event(obs::EventKind::kCacheInvalidateScrub, var.index(), 0,
+                  line.fill_step, reloc_stamp_);
+      }
+      drop_line(it->second);
+    }
+    ++step_stats_.misses;
+    residual_read_index_.try_emplace(
+        var.index(), static_cast<std::uint32_t>(residual_reads_.size()));
+    residual_to_outer_.push_back(static_cast<std::uint32_t>(i));
+    residual_reads_.push_back(var);
+  }
+}
+
+void CachedMemory::apply_writes(std::span<const pram::VarWrite> writes,
+                                std::uint64_t now) {
+  for (const auto& write : writes) {
+    const auto it = index_.find(write.var.index());
+    if (it != index_.end()) {
+      Line& line = lines_[it->second];
+      line.value = write.value;
+      line.dirty = 1;
+      line.ref = 1;
+      line.fill_step = now;
+      line.touch_step = now;
+      continue;
+    }
+    const std::uint32_t slot = acquire_slot(now);
+    if (slot == kNoSlot) {
+      // Every line is pinned by this step: write through.
+      ++step_stats_.bypasses;
+      queue_residual_write(write.var, write.value);
+      continue;
+    }
+    install_line(slot, write.var, write.value, /*dirty=*/1, now);
+  }
+}
+
+void CachedMemory::reserve_fills(std::uint64_t now) {
+  // Fill targets are reserved BEFORE the inner step so that any eviction
+  // a fill provokes contributes its write-back to the SAME residual plan
+  // (a post-serve eviction would have to defer its write-back a step).
+  fill_slot_.assign(residual_reads_.size(), kNoSlot);
+  for (std::size_t j = 0; j < residual_reads_.size(); ++j) {
+    const VarId var = residual_reads_[j];
+    if (index_.find(var.index()) != index_.end()) {
+      // The variable gained a line after classification (this step also
+      // writes it): the read stays output-only — the line already holds
+      // the post-step value, which the pre-step read must not clobber.
+      continue;
+    }
+    const std::uint32_t slot = acquire_slot(now);
+    if (slot == kNoSlot) {
+      ++step_stats_.bypasses;
+      continue;
+    }
+    install_line(slot, var, 0, /*dirty=*/0, now);
+    fill_slot_[j] = slot;
+  }
+}
+
+void CachedMemory::commit_results(
+    std::span<pram::Word> out, std::span<const pram::Word> residual_values,
+    std::span<const std::uint8_t> residual_flags, std::size_t n_reads,
+    pram::ServeContext* ctx) {
+  bool any_flag = false;
+  for (std::size_t j = 0; j < residual_reads_.size(); ++j) {
+    const std::uint32_t outer = residual_to_outer_[j];
+    out[outer] = residual_values[j];
+    const bool flagged =
+        j < residual_flags.size() && residual_flags[j] != 0;
+    if (flagged) {
+      if (!any_flag) {
+        any_flag = true;
+        flagged_.assign(n_reads, 0);
+        if (ctx != nullptr) {
+          ctx->enable_flags();
+        }
+      }
+      flagged_[outer] = 1;
+      if (ctx != nullptr) {
+        ctx->flag_read(outer);
+      }
+      // Never cache a flagged loss: release the reserved line so the
+      // next access retries the inner scheme (which may have scrubbed).
+      if (fill_slot_[j] != kNoSlot) {
+        drop_line(fill_slot_[j]);
+      }
+      continue;
+    }
+    if (fill_slot_[j] != kNoSlot) {
+      lines_[fill_slot_[j]].value = residual_values[j];
+    }
+  }
+  if (!any_flag) {
+    flagged_.clear();
+  }
+}
+
+void CachedMemory::publish_step_stats() {
+  stats_.hits += step_stats_.hits;
+  stats_.misses += step_stats_.misses;
+  stats_.evictions += step_stats_.evictions;
+  stats_.writebacks += step_stats_.writebacks;
+  stats_.invalidations += step_stats_.invalidations;
+  stats_.bypasses += step_stats_.bypasses;
+  if (step_stats_.hits != 0) {
+    obs_count("cache.hits", step_stats_.hits);
+  }
+  if (step_stats_.misses != 0) {
+    obs_count("cache.misses", step_stats_.misses);
+  }
+  if (step_stats_.evictions != 0) {
+    obs_count("cache.evictions", step_stats_.evictions);
+  }
+  if (step_stats_.writebacks != 0) {
+    obs_count("cache.writebacks", step_stats_.writebacks);
+  }
+  if (step_stats_.invalidations != 0) {
+    obs_count("cache.invalidations", step_stats_.invalidations);
+  }
+  if (step_stats_.bypasses != 0) {
+    obs_count("cache.bypasses", step_stats_.bypasses);
+  }
+}
+
+std::uint32_t CachedMemory::acquire_slot(std::uint64_t now) {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  if (lines_.size() < config_.capacity) {
+    lines_.emplace_back();
+    return static_cast<std::uint32_t>(lines_.size() - 1);
+  }
+  // Clock sweep (second chance): the first revolution clears reference
+  // bits, so a victim is found within two revolutions unless every line
+  // is pinned by the current step.
+  const std::size_t limit = 2 * lines_.size();
+  for (std::size_t scanned = 0; scanned < limit; ++scanned) {
+    if (hand_ >= lines_.size()) {
+      hand_ = 0;
+    }
+    const auto slot = static_cast<std::uint32_t>(hand_);
+    Line& candidate = lines_[hand_];
+    ++hand_;
+    if (candidate.touch_step == now) {
+      continue;  // hit, written, or reserved this step: pinned
+    }
+    if (candidate.ref != 0) {
+      candidate.ref = 0;
+      continue;
+    }
+    if (candidate.dirty != 0) {
+      queue_residual_write(candidate.var, candidate.value);
+      ++step_stats_.writebacks;
+    }
+    index_.erase(candidate.var.index());
+    ++step_stats_.evictions;
+    return slot;
+  }
+  return kNoSlot;
+}
+
+void CachedMemory::install_line(std::uint32_t slot, VarId var,
+                                pram::Word value, std::uint8_t dirty,
+                                std::uint64_t now) {
+  Line& line = lines_[slot];
+  line.var = var;
+  line.value = value;
+  line.dirty = dirty;
+  line.ref = 1;
+  line.fill_step = now;
+  line.touch_step = now;
+  index_[var.index()] = slot;
+}
+
+void CachedMemory::drop_line(std::uint32_t slot) {
+  Line& line = lines_[slot];
+  index_.erase(line.var.index());
+  line.dirty = 0;
+  line.ref = 0;
+  free_.push_back(slot);
+}
+
+void CachedMemory::queue_residual_write(VarId var, pram::Word value) {
+  // Last-wins dedup: a bypassed write may follow a write-back of the
+  // same variable evicted earlier in the step, and the inner step
+  // requires distinct write variables.
+  const auto [idx, fresh] = residual_write_index_.try_emplace(
+      var.index(), static_cast<std::uint32_t>(residual_writes_.size()));
+  if (fresh) {
+    residual_writes_.push_back({var, value});
+  } else {
+    residual_writes_[*idx].value = value;
+  }
+}
+
+pram::AccessPlan CachedMemory::build_residual_plan() {
+  pram::AccessPlan plan;
+  const std::size_t n_r = residual_reads_.size();
+  const std::size_t n_w = residual_writes_.size();
+
+  // Eviction write-backs can never target a missed read's variable (a
+  // write-back victim had a live line at classification, so if read it
+  // was a hit), but a BYPASSED client write can: the variable missed as
+  // a read, then every slot was pinned when its write arrived. Such a
+  // variable carries one request with op = kWrite and is_read = true —
+  // the plan contract allows each variable exactly once.
+  std::size_t n_shared = 0;
+  for (const auto& write : residual_writes_) {
+    if (residual_read_index_.find(write.var.index()) != nullptr) {
+      ++n_shared;
+    }
+  }
+  const std::size_t n_q = n_r + n_w - n_shared;
+
+  const auto reads = arena_.alloc<VarId>(n_r);
+  std::copy(residual_reads_.begin(), residual_reads_.end(), reads.begin());
+  const auto writes = arena_.alloc<pram::VarWrite>(n_w);
+  std::copy(residual_writes_.begin(), residual_writes_.end(),
+            writes.begin());
+  const auto requests = arena_.alloc<pram::PlanRequest>(n_q);
+  const auto read_request = arena_.alloc<std::uint32_t>(n_r);
+  const auto write_request = arena_.alloc<std::uint32_t>(n_w);
+  const auto request_write = arena_.alloc<std::uint32_t>(n_q);
+
+  for (std::size_t i = 0; i < n_r; ++i) {
+    requests[i] = {reads[i], pram::AccessOp::kRead, /*is_read=*/true};
+    read_request[i] = static_cast<std::uint32_t>(i);
+    request_write[i] = pram::AccessPlan::kNone;
+  }
+  std::size_t next_q = n_r;
+  for (std::size_t i = 0; i < n_w; ++i) {
+    const std::uint32_t* read_idx =
+        residual_read_index_.find(writes[i].var.index());
+    if (read_idx != nullptr) {
+      requests[*read_idx].op = pram::AccessOp::kWrite;
+      write_request[i] = *read_idx;
+      request_write[*read_idx] = static_cast<std::uint32_t>(i);
+      continue;
+    }
+    requests[next_q] = {writes[i].var, pram::AccessOp::kWrite,
+                        /*is_read=*/false};
+    write_request[i] = static_cast<std::uint32_t>(next_q);
+    request_write[next_q] = static_cast<std::uint32_t>(i);
+    ++next_q;
+  }
+
+  plan.reads = reads;
+  plan.writes = writes;
+  plan.requests = requests;
+  plan.read_request = read_request;
+  plan.write_request = write_request;
+  plan.request_write = request_write;
+
+  if (inner_->wants_plan_groups()) {
+    group_scratch_.clear();
+    group_scratch_.reserve(n_q);
+    for (std::size_t q = 0; q < n_q; ++q) {
+      group_scratch_.emplace_back(inner_->plan_group_of(requests[q].var),
+                                  static_cast<std::uint32_t>(q));
+    }
+    std::sort(group_scratch_.begin(), group_scratch_.end());
+    std::size_t n_groups = 0;
+    for (std::size_t q = 0; q < n_q; ++q) {
+      if (q == 0 ||
+          group_scratch_[q].first != group_scratch_[q - 1].first) {
+        ++n_groups;
+      }
+    }
+    const auto group_keys = arena_.alloc<std::uint64_t>(n_groups);
+    const auto group_offsets = arena_.alloc<std::uint32_t>(n_groups + 1);
+    const auto group_requests = arena_.alloc<std::uint32_t>(n_q);
+    const auto request_group = arena_.alloc<std::uint32_t>(n_q);
+    std::size_t g = 0;
+    for (std::size_t q = 0; q < n_q; ++q) {
+      if (q == 0 ||
+          group_scratch_[q].first != group_scratch_[q - 1].first) {
+        group_keys[g] = group_scratch_[q].first;
+        group_offsets[g] = static_cast<std::uint32_t>(q);
+        ++g;
+      }
+      group_requests[q] = group_scratch_[q].second;
+      request_group[group_scratch_[q].second] =
+          static_cast<std::uint32_t>(g - 1);
+    }
+    group_offsets[n_groups] = static_cast<std::uint32_t>(n_q);
+    plan.group_keys = group_keys;
+    plan.group_offsets = group_offsets;
+    plan.group_requests = group_requests;
+    plan.request_group = request_group;
+  }
+  return plan;
+}
+
+pram::MemStepCost CachedMemory::step(std::span<const VarId> reads,
+                                     std::span<pram::Word> read_values,
+                                     std::span<const pram::VarWrite> writes) {
+  const std::uint64_t now = advance_step_clock();
+  refresh_fault_epoch(now);
+  begin_step();
+  classify_reads(reads, read_values, now);
+  apply_writes(writes, now);
+  reserve_fills(now);
+  residual_values_.assign(residual_reads_.size(), 0);
+  pram::MemStepCost cost =
+      inner_->step(residual_reads_, residual_values_, residual_writes_);
+  commit_results(read_values, residual_values_, inner_->flagged_reads(),
+                 reads.size(), nullptr);
+  publish_step_stats();
+  cost.time = std::max<std::uint64_t>(cost.time, 1);
+  return cost;
+}
+
+pram::MemStepCost CachedMemory::serve(const pram::AccessPlan& plan,
+                                      pram::ServeContext& ctx) {
+  const std::uint64_t now = advance_step_clock();
+  ctx.stamp_step(now);
+  refresh_fault_epoch(now);
+  begin_step();
+  const auto out = ctx.read_values();
+  classify_reads(plan.reads, out, now);
+  apply_writes(plan.writes, now);
+  reserve_fills(now);
+  const pram::AccessPlan residual = build_residual_plan();
+  residual_values_.assign(residual_reads_.size(), 0);
+  residual_ctx_.bind(residual_values_);
+  residual_ctx_.set_executor(ctx.executor());
+  // The inner scheme is always served (even an empty residual), so its
+  // step clock stays aligned with ours — fault onsets and scrub stamps
+  // compare against one consistent clock across the layers.
+  pram::MemStepCost cost = inner_->serve(residual, residual_ctx_);
+  commit_results(out, residual_values_, residual_ctx_.flags(), out.size(),
+                 &ctx);
+  publish_step_stats();
+  cost.time = std::max<std::uint64_t>(cost.time, 1);
+  return cost;
+}
+
+pram::Word CachedMemory::peek(VarId var) const {
+  const auto it = index_.find(var.index());
+  if (it != index_.end() && lines_[it->second].dirty != 0) {
+    return lines_[it->second].value;
+  }
+  return inner_->peek(var);
+}
+
+void CachedMemory::poke(VarId var, pram::Word value) {
+  const auto it = index_.find(var.index());
+  if (it != index_.end()) {
+    // Keep the line coherent with the inner memory: after a poke both
+    // layers agree, so the line is clean again.
+    Line& line = lines_[it->second];
+    line.value = value;
+    line.dirty = 0;
+    line.fill_step = steps_served();
+  }
+  inner_->poke(var, value);
+}
+
+bool CachedMemory::set_fault_hooks(const pram::FaultHooks* hooks) {
+  const bool inner_accepts = inner_->set_fault_hooks(hooks);
+  // Track the fault clock only under replica-level injection: when the
+  // inner scheme rejected the hooks, degradation (if any) is applied by
+  // an OUTER wrapper, which already observes the cache's outputs — the
+  // cached values themselves never go stale.
+  hooks_ = inner_accepts ? hooks : nullptr;
+  dead_modules_seen_ = 0;
+  last_death_step_ = 0;
+  return inner_accepts;
+}
+
+pram::ScrubResult CachedMemory::scrub(std::uint64_t budget) {
+  const pram::ScrubResult result = inner_->scrub(budget);
+  if (result.relocated > 0) {
+    // Conservative: every clean line filled at or before the current
+    // step predates the relocation and is invalidated on its next hit.
+    reloc_stamp_ = steps_served() + 1;
+  }
+  return result;
+}
+
+}  // namespace pramsim::cache

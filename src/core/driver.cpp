@@ -260,7 +260,7 @@ TraceRunResult SimulationPipeline::run_stress_impl(
       auto family_rng = rng.split();
       const auto trace = pram::make_trace(families[stage], n, m,
                                           options.steps_per_family,
-                                          family_rng);
+                                          family_rng, options.trace);
       shard = run_trace_pipelined(
           *memory, trace, double_buffer,
           ScrubCadence{options.scrub_interval, options.scrub_budget,
@@ -391,7 +391,7 @@ RecoveryResult SimulationPipeline::run_recovery(
 
   util::Rng rng(options.seed);
   const auto trace = pram::make_trace(options.family, spec_.n, m,
-                                      options.steps, rng);
+                                      options.steps, rng, options.trace);
   const ScrubCadence scrub{options.scrub_interval, options.scrub_budget,
                            obs_sink};
 

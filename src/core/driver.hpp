@@ -83,6 +83,10 @@ struct StressOptions {
   std::uint64_t seed = 1;
   /// Trace families to sweep; empty = pram::exclusive_trace_families().
   std::vector<pram::TraceFamily> families = {};
+  /// Per-family knobs for the generated traffic (Zipf exponent,
+  /// working-set geometry, hotspot fraction, write mix) — one set shared
+  /// by every swept family.
+  pram::TraceParams trace = {};
   /// Include worst-case batches: crafted against the scheme's memory map
   /// when it exposes one, otherwise against the scheme's own placement
   /// knowledge (pram::MemorySystem::adversarial_vars — e.g. the hashed
@@ -128,6 +132,8 @@ struct RecoveryOptions {
   std::size_t steps = 64;
   std::uint64_t seed = 1;
   pram::TraceFamily family = pram::TraceFamily::kUniform;
+  /// Knobs for the probe's traffic (Zipf exponent, working set, ...).
+  pram::TraceParams trace = {};
   /// Scrub cadence (0 = scrubbing disabled: degradation-only baseline).
   std::uint32_t scrub_interval = 4;
   std::uint64_t scrub_budget = 64;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "cache/cached_memory.hpp"
 #include "core/alt_engine.hpp"
 #include "core/context_engines.hpp"
 #include "core/mot_engine.hpp"
@@ -342,6 +343,16 @@ SchemeInstance make_scheme(const SchemeSpec& spec) {
     }
   }
   inst.storage_factor = inst.memory->storage_redundancy();
+  if (spec.cache_lines > 0) {
+    // The cache wraps the assembled scheme; engine/map introspection
+    // handles stay valid because the wrapper owns the scheme. Fault
+    // wrappers (faults::FaultableMemory) go OUTSIDE the cache, so the
+    // oracle scores cache-served values too.
+    inst.memory = std::make_unique<cache::CachedMemory>(
+        std::move(inst.memory),
+        cache::CacheConfig{.capacity = spec.cache_lines});
+    inst.name += "+cache";
+  }
   // Backend selection is uniform: the memory downgrades a request its
   // capabilities (or configuration) cannot honor, and the instance
   // records what is actually in effect.

@@ -99,6 +99,11 @@ struct SchemeSpec {
   /// GF(256) span recodes. Purely a storage/throughput knob: values,
   /// costs, and fault semantics are identical at every width.
   std::uint32_t region_words = 1;
+  /// Hot-set cache in front of the assembled memory, in LINES (one
+  /// variable per line). 0 (the default) assembles the bare scheme;
+  /// > 0 wraps it in cache::CachedMemory (clock second-chance eviction,
+  /// dirty write-back, fault-consistent invalidation — see src/cache/).
+  std::uint64_t cache_lines = 0;
 };
 
 /// A fully assembled scheme behind the unified engine interface: the

@@ -16,6 +16,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kScrubRepair: return "scrub_repair";
     case EventKind::kWrongRead: return "wrong_read";
     case EventKind::kRehash: return "rehash";
+    case EventKind::kCacheInvalidateDead: return "cache_invalidate_dead";
+    case EventKind::kCacheInvalidateScrub: return "cache_invalidate_scrub";
   }
   return "unknown";
 }

@@ -41,6 +41,10 @@ namespace pramsim::obs {
 ///  kScrubRepair     entity=var or block, unit=copies/shares relocated
 ///  kWrongRead       entity=var, a=value served, b=value expected
 ///  kRehash          entity=rehash ordinal, a=triggering max load
+///  kCacheInvalidateDead   entity=var, a=fill step, b=current step (a
+///                   cached line's backing module died after fill)
+///  kCacheInvalidateScrub  entity=var, a=fill step, b=relocation stamp (a
+///                   scrub pass relocated storage after fill)
 enum class EventKind : std::uint8_t {
   kFaultOnset = 0,
   kDegradedVote,
@@ -51,9 +55,11 @@ enum class EventKind : std::uint8_t {
   kScrubRepair,
   kWrongRead,
   kRehash,
+  kCacheInvalidateDead,
+  kCacheInvalidateScrub,
 };
 
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 11;
 
 [[nodiscard]] const char* to_string(EventKind kind);
 

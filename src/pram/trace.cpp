@@ -1,5 +1,8 @@
 #include "pram/trace.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -13,6 +16,8 @@ std::string to_string(TraceFamily family) {
     case TraceFamily::kStride: return "stride";
     case TraceFamily::kBitReversal: return "bit-reversal";
     case TraceFamily::kBroadcast: return "broadcast";
+    case TraceFamily::kZipfian: return "zipfian";
+    case TraceFamily::kWorkingSet: return "working-set";
   }
   return "???";
 }
@@ -22,6 +27,7 @@ const std::vector<TraceFamily>& all_trace_families() {
       TraceFamily::kPermutation, TraceFamily::kUniform,
       TraceFamily::kHotspot,     TraceFamily::kStride,
       TraceFamily::kBitReversal, TraceFamily::kBroadcast,
+      TraceFamily::kZipfian,     TraceFamily::kWorkingSet,
   };
   return families;
 }
@@ -44,6 +50,45 @@ std::uint64_t bit_reverse(std::uint64_t x, int bits) {
   }
   return out;
 }
+
+// SplitMix64 finalizer: maps a working-set window index to a pseudo-random
+// but deterministic base address, so consecutive windows land far apart.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Bounded-Pareto inverse-CDF Zipf-like sampler over ranks [1, m]: one
+// uniform draw, no rejection. For s != 1 the continuous CDF is
+// F(x) = (1 - x^(1-s)) / (1 - m^(1-s)); inverting and flooring gives a
+// rank whose mass decays like rank^-s. s == 1 degenerates to
+// rank = m^u (log-uniform). Hot ranks map to low addresses, matching
+// kHotspot's convention.
+struct ZipfSampler {
+  double s;
+  double m_real;
+  double tail;  // m^(1-s) (s != 1) or ln(m) (s == 1)
+
+  ZipfSampler(double exponent, std::uint64_t m)
+      : s(exponent), m_real(static_cast<double>(m)) {
+    tail = (s == 1.0) ? std::log(m_real) : std::pow(m_real, 1.0 - s);
+  }
+
+  std::uint64_t operator()(util::Rng& rng) const {
+    const double u = rng.uniform01();
+    double x;
+    if (s == 1.0) {
+      x = std::exp(u * tail);
+    } else {
+      x = std::pow(1.0 - u * (1.0 - tail), 1.0 / (1.0 - s));
+    }
+    auto rank = static_cast<std::uint64_t>(x);
+    rank = std::clamp<std::uint64_t>(rank, 1, static_cast<std::uint64_t>(m_real));
+    return rank - 1;
+  }
+};
 
 }  // namespace
 
@@ -111,6 +156,28 @@ AccessBatch make_batch(TraceFamily family, std::uint32_t n, std::uint64_t m,
       }
       break;
     }
+    case TraceFamily::kZipfian: {
+      const ZipfSampler zipf(params.zipf_exponent, m);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        push(p, zipf(rng), op_for(p));
+      }
+      break;
+    }
+    case TraceFamily::kWorkingSet: {
+      const std::uint64_t size = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(params.working_set_size, m));
+      const std::uint64_t period =
+          std::max<std::uint64_t>(1, params.working_set_period);
+      const std::uint64_t window = params.working_set_phase / period;
+      const std::uint64_t base = mix64(window) % (m - size + 1);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        const std::uint64_t var = rng.bernoulli(params.working_set_fraction)
+                                      ? base + rng.below(size)
+                                      : rng.below(m);
+        push(p, var, op_for(p));
+      }
+      break;
+    }
   }
   return batch;
 }
@@ -124,9 +191,13 @@ std::vector<AccessBatch> make_trace(TraceFamily family, std::uint32_t n,
   TraceParams p = params;
   for (std::size_t s = 0; s < steps; ++s) {
     // Vary the stride family's offset per step so consecutive steps hit
-    // different variables (like a scanning stencil).
+    // different variables (like a scanning stencil), and advance the
+    // working-set family's phase so the hot window rotates every
+    // working_set_period steps.
     if (family == TraceFamily::kStride) {
       p.offset = (params.offset + s * n) % m;
+    } else if (family == TraceFamily::kWorkingSet) {
+      p.working_set_phase = params.working_set_phase + s;
     }
     trace.push_back(make_batch(family, n, m, rng, p));
   }

@@ -10,6 +10,14 @@
 //  * kStride       - proc i accesses (offset + i*stride) mod m
 //  * kBitReversal  - proc i accesses bit-reverse(i) (classic FFT pattern)
 //  * kBroadcast    - every processor reads variable 0
+//  * kZipfian      - i.i.d. Zipf(s) ranks over [0, m) (skewed head traffic)
+//  * kWorkingSet   - a hot window that relocates every working_set_period
+//                    steps (temporal locality with phase changes)
+//
+// The Zipf sampler is a bounded-Pareto inverse-CDF transform: one
+// uniform draw, no rejection loop, no std::discrete_distribution — so a
+// batch consumes a fixed number of RNG draws and stays deterministic
+// under the repo's seed-stability rules.
 //
 // Map-adversarial batches (built from a concrete memory map to maximize
 // module congestion) live in memmap/expansion.hpp since they need the map.
@@ -31,7 +39,14 @@ enum class TraceFamily : std::uint8_t {
   kStride,
   kBitReversal,
   kBroadcast,
+  kZipfian,
+  kWorkingSet,
 };
+
+/// Number of TraceFamily enumerators. The registry round-trip test walks
+/// [0, kTraceFamilyCount) and asserts every enumerator has a to_string
+/// name and appears in all_trace_families() — bump this when adding one.
+inline constexpr std::size_t kTraceFamilyCount = 8;
 
 [[nodiscard]] std::string to_string(TraceFamily family);
 
@@ -52,6 +67,18 @@ struct TraceParams {
   std::uint64_t stride = 1;
   /// kStride: starting offset.
   std::uint64_t offset = 0;
+  /// kZipfian: skew exponent s (> 0). Small values approach uniform;
+  /// s around 1 concentrates most traffic on a small head of [0, m).
+  double zipf_exponent = 1.1;
+  /// kWorkingSet: size of the hot window (clamped to [1, m]).
+  std::uint64_t working_set_size = 64;
+  /// kWorkingSet: steps between window relocations (clamped to >= 1).
+  std::uint64_t working_set_period = 16;
+  /// kWorkingSet: probability an access lands in the current window.
+  double working_set_fraction = 0.9;
+  /// kWorkingSet: the step index, used to select the current window.
+  /// make_trace sets this per step; single make_batch callers may leave 0.
+  std::uint64_t working_set_phase = 0;
 };
 
 /// One P-RAM step's worth of accesses (one per processor).

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/cached_memory.hpp"
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
@@ -267,6 +268,101 @@ TEST_P(AllKindsTest, ObservedWrapperAtRateZeroStaysTransparent) {
       << core::to_string(kind());
   EXPECT_EQ(sink.metrics.counters().count("fault.onsets"), 0u)
       << core::to_string(kind());
+}
+
+// Cached-wrapper equivalence gate: EVERY SchemeKind wrapped in
+// cache::CachedMemory must stay bit-exact vs FlatMemory. The capacity is
+// deliberately tiny (32 lines, far below the program footprint) so the
+// run exercises misses, clock evictions, and dirty write-backs — not
+// just an always-hot cache forwarding nothing.
+TEST_P(AllKindsTest, CachedSchemeMatchesFlatMemoryBitExact) {
+  const std::uint32_t n = 16;
+  for (const std::uint64_t program_seed : {11ULL, 23ULL}) {
+    auto ideal_spec = pram::programs::random_exclusive(n, 12, program_seed);
+    auto sim_spec = pram::programs::random_exclusive(n, 12, program_seed);
+
+    pram::MachineConfig cfg;
+    cfg.n_processors = n;
+    cfg.m_shared_cells = ideal_spec.m_required;
+    cfg.policy = pram::ConflictPolicy::kErew;
+
+    pram::Machine ideal(cfg, std::move(ideal_spec.program));
+    pram::Machine simulated(
+        cfg, std::move(sim_spec.program),
+        core::make_memory({.kind = kind(),
+                           .n = n,
+                           .seed = 5,
+                           .min_vars = ideal_spec.m_required,
+                           .region_words = width(),
+                           .cache_lines = 32}));
+
+    util::Rng init(program_seed * 977 + 1);
+    for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
+      const auto v = static_cast<pram::Word>(init.below(1000));
+      ideal.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
+      simulated.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
+    }
+    const auto a = ideal.run();
+    const auto b = simulated.run();
+    ASSERT_TRUE(a.completed());
+    ASSERT_TRUE(b.completed()) << core::to_string(kind());
+    EXPECT_EQ(a.steps, b.steps);
+    for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
+      ASSERT_EQ(ideal.shared(VarId(static_cast<std::uint32_t>(i))),
+                simulated.shared(VarId(static_cast<std::uint32_t>(i))))
+          << core::to_string(kind()) << " seed " << program_seed
+          << " cell " << i;
+    }
+  }
+}
+
+// And the composition the fault-model docs call out: CachedMemory OVER a
+// rate-0 FaultableMemory (hooks installed but inert) stays bit-exact,
+// with the oracle seeing only the cache's residual traffic.
+TEST_P(AllKindsTest, CachedOverRateZeroFaultableIsTransparent) {
+  const std::uint32_t n = 16;
+  const std::uint64_t program_seed = 29;
+  auto ideal_spec = pram::programs::random_exclusive(n, 12, program_seed);
+  auto sim_spec = pram::programs::random_exclusive(n, 12, program_seed);
+
+  pram::MachineConfig cfg;
+  cfg.n_processors = n;
+  cfg.m_shared_cells = ideal_spec.m_required;
+  cfg.policy = pram::ConflictPolicy::kErew;
+
+  const faults::FaultSpec inert{.seed = 77};
+  ASSERT_TRUE(inert.inert());
+  auto faultable = std::make_unique<faults::FaultableMemory>(
+      core::make_memory({.kind = kind(),
+                         .n = n,
+                         .seed = 5,
+                         .min_vars = ideal_spec.m_required,
+                         .region_words = width()}),
+      inert);
+  const faults::FaultableMemory* observer = faultable.get();
+  auto cached = std::make_unique<cache::CachedMemory>(
+      std::move(faultable), cache::CacheConfig{.capacity = 32});
+
+  pram::Machine ideal(cfg, std::move(ideal_spec.program));
+  pram::Machine simulated(cfg, std::move(sim_spec.program),
+                          std::move(cached));
+
+  util::Rng init(program_seed * 977 + 1);
+  for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
+    const auto v = static_cast<pram::Word>(init.below(1000));
+    ideal.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
+    simulated.poke_shared(VarId(static_cast<std::uint32_t>(i)), v);
+  }
+  ASSERT_TRUE(ideal.run().completed());
+  ASSERT_TRUE(simulated.run().completed()) << core::to_string(kind());
+  for (std::uint64_t i = 0; i < ideal_spec.m_required; ++i) {
+    ASSERT_EQ(ideal.shared(VarId(static_cast<std::uint32_t>(i))),
+              simulated.shared(VarId(static_cast<std::uint32_t>(i))))
+        << core::to_string(kind()) << " cell " << i;
+  }
+  const auto stats = observer->reliability();
+  EXPECT_EQ(stats.wrong_reads, 0u) << core::to_string(kind());
+  EXPECT_EQ(stats.uncorrectable, 0u) << core::to_string(kind());
 }
 
 INSTANTIATE_TEST_SUITE_P(

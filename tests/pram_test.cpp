@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "pram/machine.hpp"
@@ -442,6 +443,29 @@ INSTANTIATE_TEST_SUITE_P(Sizes, MatvecTest,
 
 // --------------------------------------------------------- traces -------
 
+// Registry round-trip: every TraceFamily enumerator must have a
+// to_string name and appear in all_trace_families() — the guard that
+// keeps new families (like kZipfian/kWorkingSet) wired into sweeps,
+// benches, and spec parsing rather than silently skipped.
+TEST(Trace, FamilyRegistryRoundTrips) {
+  const auto& all = all_trace_families();
+  EXPECT_EQ(all.size(), kTraceFamilyCount);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kTraceFamilyCount; ++i) {
+    const auto family = static_cast<TraceFamily>(i);
+    const std::string name = to_string(family);
+    EXPECT_NE(name, "???") << "enumerator " << i << " missing a name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate family name " << name;
+    EXPECT_NE(std::find(all.begin(), all.end(), family), all.end())
+        << name << " missing from all_trace_families()";
+  }
+  // The EREW-safe subset is a subset of the registry.
+  for (const auto family : exclusive_trace_families()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), family), all.end());
+  }
+}
+
 TEST(Trace, PermutationVariablesDistinct) {
   util::Rng rng(9);
   const auto batch =
@@ -524,6 +548,69 @@ TEST(Trace, MultiStepTraceHasRequestedLength) {
   for (const auto& batch : trace) {
     EXPECT_EQ(batch.size(), 16u);
   }
+}
+
+TEST(Trace, ZipfianSkewConcentratesOnHead) {
+  util::Rng rng(9);
+  TraceParams params;
+  params.zipf_exponent = 1.4;
+  int head = 0;
+  int total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto batch =
+        make_batch(TraceFamily::kZipfian, 100, 10'000, rng, params);
+    for (const auto& a : batch) {
+      ASSERT_LT(a.var.value(), 10'000u);
+      head += a.var.value() < 100 ? 1 : 0;
+      ++total;
+    }
+  }
+  // At s = 1.4 the first 1% of the address space should draw well over
+  // half the traffic; a uniform draw would land ~1% there.
+  EXPECT_GT(head, total / 2);
+}
+
+TEST(Trace, ZipfianLowExponentApproachesUniform) {
+  util::Rng rng(9);
+  TraceParams params;
+  params.zipf_exponent = 0.05;
+  int head = 0;
+  int total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto batch =
+        make_batch(TraceFamily::kZipfian, 100, 10'000, rng, params);
+    for (const auto& a : batch) {
+      head += a.var.value() < 100 ? 1 : 0;
+      ++total;
+    }
+  }
+  // Near-zero skew: the 1% head should take nowhere near half.
+  EXPECT_LT(head, total / 4);
+}
+
+TEST(Trace, WorkingSetRotatesItsWindow) {
+  util::Rng rng(9);
+  TraceParams params;
+  params.working_set_size = 32;
+  params.working_set_period = 4;
+  params.working_set_fraction = 1.0;
+  const std::uint64_t m = 100'000;
+  const auto trace =
+      make_trace(TraceFamily::kWorkingSet, 64, m, 12, rng, params);
+  // With fraction 1.0 every access in one period lands in one 32-wide
+  // window; successive periods use different (hash-placed) windows.
+  std::set<std::uint64_t> bases;
+  for (std::size_t s = 0; s < trace.size(); s += params.working_set_period) {
+    std::uint64_t lo = m;
+    for (const auto& a : trace[s]) {
+      lo = std::min<std::uint64_t>(lo, a.var.value());
+    }
+    for (const auto& a : trace[s]) {
+      ASSERT_LT(a.var.value() - lo, params.working_set_size);
+    }
+    bases.insert(lo);
+  }
+  EXPECT_GT(bases.size(), 1u) << "window never moved across periods";
 }
 
 TEST(Trace, DeterministicGivenSeed) {

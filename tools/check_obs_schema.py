@@ -27,6 +27,8 @@ EVENT_KINDS = [
     "scrub_repair",
     "wrong_read",
     "rehash",
+    "cache_invalidate_dead",
+    "cache_invalidate_scrub",
 ]
 EVENT_KIND_INDEX = {kind: i for i, kind in enumerate(EVENT_KINDS)}
 
