@@ -1,0 +1,135 @@
+// Experiment D1: durability — WAL + checkpoint + restart recovery cost.
+//
+// The headline claim: recovery time is governed by the WAL TAIL (the
+// records after the last durable checkpoint), not by how long the
+// machine had been running. Two run lengths (64 and 256 steps) are
+// killed at their final step across a checkpoint-interval sweep; within
+// a column the tails match, so the recovery costs match, while total
+// run length differs 4x. The second table sweeps the kill points on one
+// configuration to price each crash window of the commit protocol.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/schemes.hpp"
+#include "util/table.hpp"
+
+using namespace pramsim;
+
+namespace {
+
+std::string scratch_dir(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "pramsim_bench_durability" / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+}  // namespace
+
+int main() {
+  bench::Reporter reporter(
+      "durability", "WAL + checkpoint restart recovery (crash at kill step)",
+      "recovery replays only the WAL tail after the last checkpoint, so "
+      "recovery time scales with the checkpoint interval and is flat in "
+      "total run length; every recovery is bit-exact with zero lost "
+      "committed writes");
+
+  const core::SchemeSpec spec{.kind = core::SchemeKind::kDmmpc,
+                              .n = 32,
+                              .seed = 33};
+  core::SimulationPipeline pipeline(spec);
+
+  util::Table tail_table({"steps", "ckpt interval", "kill @", "durable @",
+                          "ckpt @", "replayed", "wal B", "ckpt B",
+                          "bit exact", "recovery us"});
+  tail_table.set_title(
+      "recovery cost vs checkpoint interval at two run lengths (dmmpc "
+      "n = 32, crash after the final flush; 'replayed' is the WAL tail "
+      "past the loaded checkpoint)");
+
+  for (const std::uint64_t steps : {64ULL, 256ULL}) {
+    for (const std::uint64_t interval : {4ULL, 16ULL, 64ULL}) {
+      core::CrashRecoveryOptions options;
+      options.steps = steps;
+      options.seed = 44;
+      options.kill_step = steps;  // deterministic: die at the last step
+      options.kill_point = core::KillPoint::kAfterWalFlush;
+      options.durability.directory =
+          scratch_dir("tail_" + std::to_string(steps) + "_" +
+                      std::to_string(interval));
+      options.durability.wal_flush_interval = 2;
+      options.durability.checkpoint_interval = interval;
+
+      const auto result = pipeline.run_crash_recovery(options);
+      tail_table.add_row(
+          {static_cast<std::int64_t>(steps),
+           static_cast<std::int64_t>(interval),
+           static_cast<std::int64_t>(result.kill_step),
+           static_cast<std::int64_t>(result.durable_step),
+           static_cast<std::int64_t>(result.recovery.checkpoint_step),
+           static_cast<std::int64_t>(result.recovery.replayed_records),
+           static_cast<std::int64_t>(result.wal_bytes),
+           static_cast<std::int64_t>(result.checkpoint_bytes),
+           std::string(result.bit_exact ? "yes" : "NO"),
+           result.recovery_seconds * 1e6});
+    }
+  }
+
+  util::Table kill_table({"kill point", "kill @", "durable @", "ckpt loaded",
+                          "ckpt @", "replayed", "skipped", "torn tail",
+                          "bit exact", "recovery us"});
+  kill_table.set_title(
+      "the kill-point matrix on one configuration (dmmpc n = 32, 48 "
+      "steps, checkpoint every 8, seed-derived kill step): every crash "
+      "window of the commit protocol recovers bit-exact");
+
+  for (const auto point : core::all_kill_points()) {
+    core::CrashRecoveryOptions options;
+    options.steps = 48;
+    options.seed = 44;
+    options.kill_point = point;
+    options.durability.directory =
+        scratch_dir(std::string("kill_") + core::to_string(point));
+    options.durability.wal_flush_interval = 2;
+    options.durability.checkpoint_interval = 8;
+
+    const auto result = pipeline.run_crash_recovery(options);
+    kill_table.add_row(
+        {std::string(core::to_string(point)),
+         static_cast<std::int64_t>(result.kill_step),
+         static_cast<std::int64_t>(result.durable_step),
+         std::string(result.recovery.checkpoint_loaded ? "yes" : "no"),
+         static_cast<std::int64_t>(result.recovery.checkpoint_step),
+         static_cast<std::int64_t>(result.recovery.replayed_records),
+         static_cast<std::int64_t>(result.recovery.skipped_records),
+         std::string(result.recovery.torn_wal_tail ? "yes" : "no"),
+         std::string(result.bit_exact ? "yes" : "NO"),
+         result.recovery_seconds * 1e6});
+  }
+
+  reporter.table(tail_table, 1);
+  reporter.table(kill_table, 1);
+
+  bench::RunManifest manifest;
+  manifest.scheme = "dmmpc n=32";
+  manifest.seed = 44;
+  manifest.backend = "serial serve, crash-recovery probe";
+  manifest.obs_enabled = false;
+  reporter.set_manifest(manifest);
+
+  std::printf(
+      "\nReading the tables: in the first, fix a checkpoint-interval\n"
+      "column and compare the 64- and 256-step rows — the replayed-tail\n"
+      "lengths match, and so do the recovery times, despite the 4x run\n"
+      "length. Growing the interval grows the replay tail and the\n"
+      "recovery cost: the knob prices checkpoint write traffic against\n"
+      "restart latency. The second table walks the five crash windows;\n"
+      "torn WAL records and torn checkpoints are detected by CRC and\n"
+      "recovery falls back to the last durable state, bit-exact in\n"
+      "every window.\n");
+  return 0;
+}

@@ -504,4 +504,44 @@ pram::ScrubResult CachedMemory::scrub(std::uint64_t budget) {
   return result;
 }
 
+void CachedMemory::snapshot_body(pram::SnapshotSink& sink) {
+  // Write back every dirty line BEFORE serializing the inner scheme: a
+  // dirty line is the only up-to-date copy of its value, so serializing
+  // first would checkpoint stale backing state. Freed slots are never
+  // dirty (drop_line clears the bit), so a flat scan suffices. The
+  // lines stay resident and become clean, exactly as if evicted and
+  // refilled — observable values never change.
+  std::uint64_t flushed = 0;
+  for (Line& line : lines_) {
+    if (line.dirty != 0) {
+      inner_->poke(line.var, line.value);
+      line.dirty = 0;
+      line.fill_step = steps_served();
+      ++flushed;
+    }
+  }
+  if (flushed > 0) {
+    stats_.writebacks += flushed;
+    obs_count("cache.checkpoint_writebacks", flushed);
+  }
+  inner_->snapshot(sink);
+}
+
+bool CachedMemory::restore_body(pram::SnapshotSource& source) {
+  if (!inner_->restore(source)) {
+    return false;
+  }
+  // Restart cold: cached values are a performance artifact the inner
+  // snapshot already covers (the flush above made them clean), and the
+  // fault-clock stamps below reference a step clock that just changed.
+  lines_.clear();
+  index_.clear();
+  free_.clear();
+  hand_ = 0;
+  dead_modules_seen_ = 0;
+  last_death_step_ = 0;
+  reloc_stamp_ = 0;
+  return true;
+}
+
 }  // namespace pramsim::cache

@@ -163,6 +163,18 @@ class CachedMemory final : public pram::MemorySystem {
   [[nodiscard]] std::uint64_t occupancy() const { return index_.size(); }
   [[nodiscard]] pram::MemorySystem& inner() { return *inner_; }
 
+ protected:
+  /// Snapshot ORDERING contract: dirty lines are the only up-to-date
+  /// copy of their values (the inner scheme never saw the store), so
+  /// they are written back to the inner scheme FIRST — before the inner
+  /// state is serialized — or the checkpoint would capture stale backing
+  /// state and recovery would silently lose committed writes. After the
+  /// flush the body is simply the inner memory's full nested frame;
+  /// restore rebuilds the inner scheme and restarts with a COLD cache
+  /// (cache contents are a performance artifact, not committed state).
+  void snapshot_body(pram::SnapshotSink& sink) override;
+  [[nodiscard]] bool restore_body(pram::SnapshotSource& source) override;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 

@@ -2,16 +2,23 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "durability/checkpoint.hpp"
+#include "durability/wal.hpp"
 #include "faults/faultable_memory.hpp"
+#include "faults/trace_checker.hpp"
 #include "memmap/expansion.hpp"
 #include "pram/serve_context.hpp"
+#include "util/assert.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace pramsim::core {
 
@@ -363,6 +370,246 @@ FaultSweepResult SimulationPipeline::run_fault_sweep(
     }
     result.total.merge(level.run);
     result.levels.push_back(std::move(level));
+  }
+  return result;
+}
+
+const char* to_string(KillPoint point) {
+  switch (point) {
+    case KillPoint::kCleanShutdown: return "clean_shutdown";
+    case KillPoint::kMidWalAppend: return "mid_wal_append";
+    case KillPoint::kAfterWalFlush: return "after_wal_flush";
+    case KillPoint::kMidCheckpoint: return "mid_checkpoint";
+    case KillPoint::kAfterCheckpointPreTruncate:
+      return "after_checkpoint_pre_truncate";
+  }
+  return "unknown";
+}
+
+std::vector<KillPoint> all_kill_points() {
+  return {KillPoint::kCleanShutdown, KillPoint::kMidWalAppend,
+          KillPoint::kAfterWalFlush, KillPoint::kMidCheckpoint,
+          KillPoint::kAfterCheckpointPreTruncate};
+}
+
+CrashRecoveryResult SimulationPipeline::run_crash_recovery(
+    const CrashRecoveryOptions& options,
+    const faults::FaultSpec* fault_spec) const {
+  namespace fs = std::filesystem;
+  CrashRecoveryResult result;
+  const DurabilityOptions& dur = options.durability;
+  PRAMSIM_ASSERT_MSG(!dur.directory.empty(),
+                     "CrashRecoveryOptions needs a durability directory");
+  fs::create_directories(dur.directory);
+  const std::string wal_path =
+      (fs::path(dur.directory) / "wal.log").string();
+  // A crash run owns its directory: stale files from a previous run must
+  // not leak into this run's recovery.
+  fs::remove(wal_path);
+  for (const auto& entry : fs::directory_iterator(dur.directory)) {
+    if (entry.path().filename().string().rfind("ckpt-", 0) == 0) {
+      fs::remove(entry.path());
+    }
+  }
+
+  const std::size_t steps = std::max<std::size_t>(options.steps, 1);
+  // The kill step derives from the seed (decorrelated from the traffic
+  // stream), so a matrix sweep over seeds covers kill positions all over
+  // the run without hand-picking them.
+  util::Rng kill_rng(options.seed ^ 0xD1B54A32D192ED03ULL);
+  const std::uint64_t kill =
+      options.kill_step != 0
+          ? std::min<std::uint64_t>(options.kill_step, steps)
+          : 1 + kill_rng.below(steps);
+  result.kill_step = kill;
+
+  util::Rng trace_rng(options.seed);
+  const auto trace = pram::make_trace(options.family, spec_.n, instance_.m,
+                                      steps, trace_rng, options.trace);
+
+  obs::Sink sink(obs::SinkOptions{options.obs_sample_interval,
+                                  options.obs_journal_capacity});
+  obs::Sink* obs_sink =
+      obs::kEnabled && options.obs_enabled ? &sink : nullptr;
+
+  // The crashed run, the recovered machine, and the reference run must
+  // be three instances of the SAME configuration (scheme seed and fault
+  // seed included), or restore/compare would be meaningless.
+  const auto build_memory = [&]() -> std::unique_ptr<pram::MemorySystem> {
+    auto instance = make_scheme(spec_);
+    std::unique_ptr<pram::MemorySystem> memory =
+        std::move(instance.memory);
+    if (fault_spec != nullptr) {
+      memory = std::make_unique<faults::FaultableMemory>(std::move(memory),
+                                                         *fault_spec);
+    }
+    return memory;
+  };
+
+  durability::Wal::RecordSpan torn_span;
+  {
+    auto memory = build_memory();
+    if (obs_sink != nullptr) {
+      memory->set_observer(obs_sink);
+    }
+    // Fault-onset acknowledgements: the durable run logs each realized
+    // onset once the step clock crosses it, so the post-crash log shows
+    // which failures the run had already acknowledged.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> onsets;
+    if (fault_spec != nullptr) {
+      const auto& model =
+          static_cast<faults::FaultableMemory*>(memory.get())->model();
+      for (const auto module : model.dead_modules()) {
+        onsets.emplace_back(model.module_onset(module), module.index());
+      }
+      std::sort(onsets.begin(), onsets.end());
+    }
+    std::size_t onset_cursor = 0;
+
+    durability::Wal wal({wal_path, dur.wal_flush_interval}, obs_sink);
+    durability::Checkpointer checkpointer(
+        {dur.directory, dur.keep_checkpoints}, obs_sink);
+
+    PlanBuilder builder;
+    std::vector<pram::Word> values;
+    util::Executor executor;
+    pram::ServeContext ctx({}, &executor);
+    for (std::uint64_t step = 1; step <= kill; ++step) {
+      const pram::AccessPlan* plan;
+      plan = &builder.build(trace[step - 1], *memory);
+      values.resize(plan->reads.size());
+      ctx.bind(values);
+      (void)memory->serve(*plan, ctx);
+      while (onset_cursor < onsets.size() &&
+             onsets[onset_cursor].first <= step) {
+        wal.append_onset(step, onsets[onset_cursor].second);
+        ++onset_cursor;
+      }
+      wal.append_step(step, plan->writes);
+      if (step == kill) {
+        break;
+      }
+      wal.maybe_flush(step);
+      if (dur.checkpoint_interval != 0 &&
+          step % dur.checkpoint_interval == 0) {
+        wal.flush();
+        checkpointer.write(*memory, step);
+        wal.truncate_through(step);
+      }
+    }
+
+    switch (options.kill_point) {
+      case KillPoint::kCleanShutdown:
+        wal.flush();
+        checkpointer.write(*memory, kill);
+        wal.truncate_through(kill);
+        break;
+      case KillPoint::kMidWalAppend:
+        // Flush everything, then (post-scope) cut the file inside the
+        // final record's byte span: the classic torn final write.
+        wal.flush();
+        torn_span = wal.last_record();
+        break;
+      case KillPoint::kAfterWalFlush:
+        wal.flush();
+        break;
+      case KillPoint::kMidCheckpoint: {
+        // The WAL is durable through the kill step; the checkpoint that
+        // was being written when the process died is a torn prefix on
+        // disk. Recovery must reject it and fall back.
+        wal.flush();
+        const std::vector<std::uint8_t> image =
+            durability::Checkpointer::file_image(*memory, kill);
+        const std::size_t cut = 1 + kill_rng.below(image.size() - 1);
+        const std::string path =
+            durability::Checkpointer::path_for(dur.directory, kill);
+        std::FILE* file = std::fopen(path.c_str(), "wb");
+        PRAMSIM_ASSERT(file != nullptr);
+        PRAMSIM_ASSERT(std::fwrite(image.data(), 1, cut, file) == cut);
+        std::fclose(file);
+        break;
+      }
+      case KillPoint::kAfterCheckpointPreTruncate:
+        // Checkpoint durable, truncate never ran: the log still holds
+        // records the checkpoint covers; replay must filter them.
+        wal.flush();
+        checkpointer.write(*memory, kill);
+        break;
+    }
+    result.checkpoint_bytes = checkpointer.last_bytes();
+    if (obs_sink != nullptr) {
+      memory->set_observer(nullptr);
+    }
+  }  // the crash: Wal closes here WITHOUT flushing any buffered tail
+
+  if (options.kill_point == KillPoint::kMidWalAppend &&
+      torn_span.length > 1) {
+    fs::resize_file(wal_path, torn_span.offset + 1 +
+                                  kill_rng.below(torn_span.length - 1));
+  }
+  result.wal_bytes = fs::exists(wal_path) ? fs::file_size(wal_path) : 0;
+
+  // Restart: a fresh machine recovers from what survived on disk.
+  auto recovered = build_memory();
+  if (obs_sink != nullptr) {
+    recovered->set_observer(obs_sink);
+  }
+  util::Stopwatch timer;
+  result.recovery = durability::recover(*recovered, wal_path,
+                                        dur.directory, dur.scrub_budget,
+                                        obs_sink);
+  result.recovery_seconds = timer.elapsed_seconds();
+  result.durable_step = result.recovery.recovered_step;
+  if (obs_sink != nullptr) {
+    recovered->set_observer(nullptr);
+  }
+
+  // Reference: an uninterrupted run of the same trace, stopped at the
+  // durable horizon. Its committed-write trace doubles as the oracle for
+  // the zero-lost-durable-writes check.
+  auto reference = build_memory();
+  faults::TraceChecker committed;
+  {
+    PlanBuilder builder;
+    std::vector<pram::Word> values;
+    util::Executor executor;
+    pram::ServeContext ctx({}, &executor);
+    for (std::uint64_t step = 1; step <= result.durable_step; ++step) {
+      const pram::AccessPlan* plan =
+          &builder.build(trace[step - 1], *reference);
+      values.resize(plan->reads.size());
+      ctx.bind(values);
+      (void)reference->serve(*plan, ctx);
+      for (const pram::VarWrite& write : plan->writes) {
+        committed.record_write(write.var, write.value);
+      }
+    }
+  }
+
+  result.bit_exact = true;
+  const std::uint64_t m = reference->size();
+  for (std::uint64_t v = 0; v < m; ++v) {
+    const VarId var(static_cast<std::uint32_t>(v));
+    if (reference->peek(var) != recovered->peek(var)) {
+      result.bit_exact = false;
+    }
+    ++result.vars_checked;
+  }
+  // Under fault injection peek is fault-aware (a dead module's loss is
+  // visible in BOTH instances), so the ideal-value comparison is only
+  // meaningful fault-free; the bit_exact reference comparison above is
+  // the authoritative check either way.
+  if (fault_spec == nullptr) {
+    for (const auto& [var, value] : committed.ideal()) {
+      if (recovered->peek(VarId(static_cast<std::uint32_t>(var))) !=
+          value) {
+        ++result.lost_committed_writes;
+      }
+    }
+  }
+  if (obs_sink != nullptr) {
+    sink.journal.flush();
+    result.obs = std::move(sink);
   }
   return result;
 }

@@ -16,8 +16,11 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "core/plan_builder.hpp"
 #include "core/schemes.hpp"
+#include "durability/recovery.hpp"
 #include "faults/fault_model.hpp"
 #include "majority/engine.hpp"
 #include "obs/sink.hpp"
@@ -224,6 +227,83 @@ struct FaultSweepResult {
   std::int64_t worst_recovery_steps = -1;
 };
 
+/// Durability knobs for crash-recovery runs: where the WAL and
+/// checkpoints live and how often each is made durable. The WAL flushes
+/// (group commit) every `wal_flush_interval` committed steps; a full
+/// checkpoint is written every `checkpoint_interval` steps, after which
+/// the WAL is truncated through the checkpointed step.
+struct DurabilityOptions {
+  std::string directory;  ///< holds wal.log + ckpt-<step>.bin files
+  std::uint32_t wal_flush_interval = 2;
+  std::uint32_t checkpoint_interval = 8;
+  std::uint32_t keep_checkpoints = 2;
+  /// Post-replay scrub budget handed to durability::recover (0 = skip).
+  std::uint64_t scrub_budget = 256;
+};
+
+/// Where the simulated crash lands relative to the durability protocol's
+/// phase boundaries — the kill-point axis of the crash-test matrix.
+enum class KillPoint : std::uint8_t {
+  /// Flush + checkpoint + truncate, then exit: recovery must be a
+  /// no-op that still lands on the exact committed state.
+  kCleanShutdown = 0,
+  /// The final WAL record is torn mid-write (the file ends inside the
+  /// record's byte span): recovery must use the last COMPLETE record.
+  kMidWalAppend,
+  /// Crash right after a group-commit flush: the buffered-but-unflushed
+  /// suffix (if any) is lost; everything flushed must survive.
+  kAfterWalFlush,
+  /// Crash mid-checkpoint write: a torn ckpt-<step>.bin prefix is on
+  /// disk; recovery must fall back to the previous checkpoint + WAL.
+  kMidCheckpoint,
+  /// Crash after the checkpoint is durable but BEFORE the WAL truncate:
+  /// the log still holds records the checkpoint covers; replay must
+  /// filter (or idempotently re-apply) them.
+  kAfterCheckpointPreTruncate,
+};
+
+[[nodiscard]] const char* to_string(KillPoint point);
+[[nodiscard]] std::vector<KillPoint> all_kill_points();
+
+/// Crash-recovery run parameters: a single machine serves one trace
+/// family with durability enabled, is killed at a kill point on a
+/// seed-derived step, restarts from disk, and is verified bit-for-bit
+/// against an uninterrupted reference run of the same trace.
+struct CrashRecoveryOptions {
+  std::size_t steps = 32;
+  std::uint64_t seed = 1;
+  pram::TraceFamily family = pram::TraceFamily::kUniform;
+  pram::TraceParams trace = {};
+  DurabilityOptions durability;
+  KillPoint kill_point = KillPoint::kAfterWalFlush;
+  /// Kill after serving this step (1-based); 0 = derive from the seed.
+  std::uint64_t kill_step = 0;
+  /// Observability knobs, as StressOptions: capture the run + recovery's
+  /// checkpoint/replay events into CrashRecoveryResult::obs.
+  bool obs_enabled = false;
+  std::uint32_t obs_sample_interval = 1;
+  std::size_t obs_journal_capacity = obs::Journal::kDefaultCapacity;
+};
+
+struct CrashRecoveryResult {
+  std::uint64_t kill_step = 0;     ///< last step served before the crash
+  /// The durable horizon at the crash (recovery's contract: every
+  /// committed write at or before this step survives).
+  std::uint64_t durable_step = 0;
+  durability::RecoveryOutcome recovery;
+  /// Recovered state equals the uninterrupted reference state at the
+  /// durable horizon, across ALL m variables.
+  bool bit_exact = false;
+  std::uint64_t vars_checked = 0;
+  /// Committed-and-durable writes the recovered memory lost (0 required).
+  std::uint64_t lost_committed_writes = 0;
+  double recovery_seconds = 0.0;  ///< wall clock around recover()
+  std::uint64_t checkpoint_bytes = 0;  ///< last checkpoint's file size
+  std::uint64_t wal_bytes = 0;         ///< WAL size at the crash
+  /// Observability capture (CrashRecoveryOptions::obs_enabled).
+  obs::Sink obs;
+};
+
 /// The one driver every scheme kind runs through. Construct from a spec;
 /// the pipeline assembles the scheme, owns a prototype instance for
 /// metadata/one-shot steps, and builds fresh per-trial memories for
@@ -263,6 +343,17 @@ class SimulationPipeline {
   [[nodiscard]] RecoveryResult run_recovery(
       const faults::FaultSpec& fault_spec,
       const RecoveryOptions& options = {}) const;
+
+  /// The crash-test harness: run a durable machine (WAL + checkpoints)
+  /// to a kill step, crash it at the configured KillPoint (including
+  /// file surgery for torn-write points), recover a fresh machine from
+  /// disk, and verify the recovered state bit-for-bit against an
+  /// uninterrupted reference run truncated at the durable horizon.
+  /// Deterministic given (spec, options); fault_spec may be null for
+  /// fault-free durability runs.
+  [[nodiscard]] CrashRecoveryResult run_crash_recovery(
+      const CrashRecoveryOptions& options = {},
+      const faults::FaultSpec* fault_spec = nullptr) const;
 
  private:
   [[nodiscard]] TraceRunResult run_stress_impl(

@@ -210,4 +210,43 @@ pram::ReliabilityStats FaultableMemory::reliability() const {
   return merged;
 }
 
+void FaultableMemory::snapshot_body(pram::SnapshotSink& sink) {
+  inner_->snapshot(sink);
+
+  std::vector<std::uint64_t> vars;
+  vars.reserve(checker_.ideal().size());
+  for (const auto& [var, value] : checker_.ideal()) {
+    (void)value;
+    vars.push_back(var);
+  }
+  std::sort(vars.begin(), vars.end());
+  put_u64(sink, vars.size());
+  for (const std::uint64_t var : vars) {
+    put_u64(sink, var);
+    put_word(sink, checker_.ideal().at(var));
+  }
+}
+
+bool FaultableMemory::restore_body(pram::SnapshotSource& source) {
+  if (!inner_->restore(source)) {
+    return false;
+  }
+  checker_.reset();
+  std::uint64_t count = 0;
+  if (!get_u64(source, count)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t var = 0;
+    pram::Word value = 0;
+    if (!get_u64(source, var) || !get_word(source, value) ||
+        var >= inner_->size()) {
+      return false;
+    }
+    checker_.record_write(VarId(static_cast<std::uint32_t>(var)), value);
+  }
+  onset_cursor_ = 0;
+  return true;
+}
+
 }  // namespace pramsim::faults

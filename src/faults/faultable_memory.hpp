@@ -128,6 +128,17 @@ class FaultableMemory final : public pram::MemorySystem {
   }
   [[nodiscard]] pram::MemorySystem& inner() { return *inner_; }
 
+ protected:
+  /// Snapshot: the inner scheme's full nested frame, then the oracle's
+  /// committed-write image (sorted), so a recovered wrapper keeps
+  /// catching silent wrong reads against the SAME ideal replica — a
+  /// crash must not reset the consistency contract. The fault model
+  /// itself is seed-derived (rebuilt by construction) and the onset
+  /// journal cursor restarts, so a sink attached after restore re-sees
+  /// every onset the restored clock has crossed.
+  void snapshot_body(pram::SnapshotSink& sink) override;
+  [[nodiscard]] bool restore_body(pram::SnapshotSource& source) override;
+
  private:
   /// Synthetic variable->module placement for wrapper-level injection on
   /// schemes that expose no map of their own.

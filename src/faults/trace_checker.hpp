@@ -41,6 +41,22 @@ class TraceChecker {
   [[nodiscard]] std::uint64_t reads_checked() const { return reads_checked_; }
   [[nodiscard]] std::uint64_t mismatches() const { return mismatches_; }
 
+  /// Snapshot surface: the sparse ideal replica (the committed-write
+  /// image). Serializers iterate keys in sorted order for a canonical
+  /// byte stream.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, pram::Word>&
+  ideal() const {
+    return ideal_;
+  }
+
+  /// Drop the replica and the counters (restore resets to this blank
+  /// state before replaying a snapshot's committed-write image).
+  void reset() {
+    ideal_.clear();
+    reads_checked_ = 0;
+    mismatches_ = 0;
+  }
+
  private:
   std::unordered_map<std::uint64_t, pram::Word> ideal_;
   std::uint64_t reads_checked_ = 0;

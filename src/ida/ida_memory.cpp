@@ -691,6 +691,93 @@ pram::ScrubResult IdaMemory::scrub(std::uint64_t budget) {
   return result;
 }
 
+void IdaMemory::snapshot_body(pram::SnapshotSink& sink) {
+  put_u32(sink, config_.b);
+  put_u32(sink, config_.d);
+  put_u32(sink, config_.region_blocks);
+  put_u32(sink, config_.check_shares ? 1u : 0u);
+  put_u64(sink, row_words_);
+
+  std::vector<std::uint64_t> regions;
+  regions.reserve(shares_.size());
+  for (const auto& [region, row] : shares_) {
+    (void)row;
+    regions.push_back(region);
+  }
+  std::sort(regions.begin(), regions.end());
+  put_u64(sink, regions.size());
+  for (const std::uint64_t region : regions) {
+    put_u64(sink, region);
+    const auto& row = shares_.at(region);
+    sink.write(row.data(), row.size() * sizeof(pram::Word));
+  }
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(relocated_.size());
+  for (const auto& [key, module] : relocated_) {
+    (void)module;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  put_u64(sink, keys.size());
+  for (const std::uint64_t key : keys) {
+    put_u64(sink, key);
+    put_u32(sink, relocated_.at(key).value());
+  }
+
+  put_u64(sink, store_ops_);
+  put_u64(sink, scrub_cursor_);
+}
+
+bool IdaMemory::restore_body(pram::SnapshotSource& source) {
+  std::uint32_t b = 0;
+  std::uint32_t d = 0;
+  std::uint32_t region_blocks = 0;
+  std::uint32_t check_shares = 0;
+  std::uint64_t row_words = 0;
+  if (!get_u32(source, b) || b != config_.b || !get_u32(source, d) ||
+      d != config_.d || !get_u32(source, region_blocks) ||
+      region_blocks != config_.region_blocks ||
+      !get_u32(source, check_shares) ||
+      (check_shares != 0) != config_.check_shares ||
+      !get_u64(source, row_words) || row_words != row_words_) {
+    return false;
+  }
+
+  shares_.clear();
+  std::uint64_t n_rows = 0;
+  if (!get_u64(source, n_rows)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n_rows; ++i) {
+    std::uint64_t region = 0;
+    if (!get_u64(source, region) || region >= n_regions_) {
+      return false;
+    }
+    std::vector<pram::Word> row(row_words_);
+    if (!source.read(row.data(), row_words_ * sizeof(pram::Word))) {
+      return false;
+    }
+    shares_.insert_or_assign(region, std::move(row));
+  }
+
+  relocated_.clear();
+  std::uint64_t n_relocated = 0;
+  if (!get_u64(source, n_relocated)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n_relocated; ++i) {
+    std::uint64_t key = 0;
+    std::uint32_t module = 0;
+    if (!get_u64(source, key) || !get_u32(source, module)) {
+      return false;
+    }
+    relocated_.insert_or_assign(key, ModuleId(module));
+  }
+
+  return get_u64(source, store_ops_) && get_u64(source, scrub_cursor_);
+}
+
 double IdaMemory::work_amplification() const {
   return vars_accessed_ > 0 ? static_cast<double>(vars_processed_) /
                                   static_cast<double>(vars_accessed_)

@@ -139,6 +139,16 @@ class IdaMemory final : public pram::MemorySystem {
     return share_accesses_;
   }
 
+ protected:
+  /// Native snapshot: the packed share region rows (shares, checksums,
+  /// written-block flag bits) in sorted region order, the scrub
+  /// relocation overlay, the encode counter (corruption re-roll
+  /// namespace), and the scrub cursor. The peek/poke default would
+  /// re-encode every block and lose relocations; this path restores the
+  /// exact stored share words.
+  void snapshot_body(pram::SnapshotSink& sink) override;
+  [[nodiscard]] bool restore_body(pram::SnapshotSource& source) override;
+
  private:
   [[nodiscard]] std::uint64_t block_of(VarId var) const {
     return var.index() / config_.b;

@@ -213,6 +213,32 @@ class CopyStore {
   void copy_region(std::uint64_t region, std::uint32_t from,
                    std::uint32_t to);
 
+  // ----- snapshot surface (durability checkpoints) -----
+
+  /// The materialized region rows (region id -> r * region_words copies,
+  /// copy-major). Serializers iterate region ids in sorted order so the
+  /// snapshot byte stream is canonical regardless of map iteration order.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::vector<Copy>>&
+  rows() const {
+    return copies_;
+  }
+
+  /// Install one serialized region row — values AND stamps — replacing
+  /// any existing row. Restore-only: `copies` must hold exactly
+  /// redundancy() * region_words() entries.
+  void restore_row(std::uint64_t region, std::span<const Copy> copies) {
+    PRAMSIM_ASSERT(region < n_regions_ &&
+                   copies.size() ==
+                       static_cast<std::size_t>(r_) * w_);
+    copies_.insert_or_assign(region,
+                             std::vector<Copy>(copies.begin(), copies.end()));
+  }
+
+  /// Drop every materialized row (restore resets to this blank state
+  /// before installing the snapshot's rows, so a second restore onto the
+  /// same instance is exact, not additive).
+  void clear_rows() { copies_.clear(); }
+
  private:
   [[nodiscard]] std::vector<Copy>& row(VarId var) {
     return copies_

@@ -596,4 +596,84 @@ pram::ScrubResult MajorityMemory::scrub(std::uint64_t budget) {
   return result;
 }
 
+void MajorityMemory::snapshot_body(pram::SnapshotSink& sink) {
+  const std::uint32_t r = store_.redundancy();
+  const std::uint32_t w = store_.region_words();
+  put_u32(sink, r);
+  put_u32(sink, w);
+
+  std::vector<std::uint64_t> regions;
+  regions.reserve(store_.rows().size());
+  for (const auto& [region, row] : store_.rows()) {
+    (void)row;
+    regions.push_back(region);
+  }
+  std::sort(regions.begin(), regions.end());
+  put_u64(sink, regions.size());
+  for (const std::uint64_t region : regions) {
+    put_u64(sink, region);
+    const auto& row = store_.rows().at(region);
+    // Copy is padding-free (static_assert in copy_store.hpp), so the row
+    // serializes as one raw span of (value, stamp) pairs.
+    sink.write(row.data(), row.size() * sizeof(Copy));
+  }
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(relocated_.size());
+  for (const auto& [key, module] : relocated_) {
+    (void)module;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  put_u64(sink, keys.size());
+  for (const std::uint64_t key : keys) {
+    put_u64(sink, key);
+    put_u32(sink, relocated_.at(key).value());
+  }
+
+  put_u64(sink, scrub_cursor_);
+  put_u64(sink, scrub_stores_);
+}
+
+bool MajorityMemory::restore_body(pram::SnapshotSource& source) {
+  std::uint32_t r = 0;
+  std::uint32_t w = 0;
+  if (!get_u32(source, r) || r != store_.redundancy() ||
+      !get_u32(source, w) || w != store_.region_words()) {
+    return false;
+  }
+
+  store_.clear_rows();
+  std::uint64_t n_rows = 0;
+  if (!get_u64(source, n_rows)) {
+    return false;
+  }
+  const std::size_t row_len = static_cast<std::size_t>(r) * w;
+  std::vector<Copy> row(row_len);
+  for (std::uint64_t i = 0; i < n_rows; ++i) {
+    std::uint64_t region = 0;
+    if (!get_u64(source, region) || region >= store_.num_regions() ||
+        !source.read(row.data(), row_len * sizeof(Copy))) {
+      return false;
+    }
+    store_.restore_row(region, row);
+  }
+
+  relocated_.clear();
+  std::uint64_t n_relocated = 0;
+  if (!get_u64(source, n_relocated)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n_relocated; ++i) {
+    std::uint64_t key = 0;
+    std::uint32_t module = 0;
+    if (!get_u64(source, key) || !get_u32(source, module)) {
+      return false;
+    }
+    relocated_.insert_or_assign(key, ModuleId(module));
+  }
+
+  return get_u64(source, scrub_cursor_) && get_u64(source, scrub_stores_);
+}
+
 }  // namespace pramsim::majority

@@ -130,6 +130,16 @@ class MajorityMemory final : public pram::MemorySystem {
     return last_stats_;
   }
 
+ protected:
+  /// Native snapshot: the CopyStore's region rows (values AND stamps,
+  /// sorted by region id for a canonical stream), the scrub relocation
+  /// overlay, and the scrub cursors — bit-exact storage state. The
+  /// peek/poke default would collapse per-copy stamps and lose
+  /// relocations; this path restores the exact pre-crash storage so
+  /// recovery + scrub behave as if the crash never happened.
+  void snapshot_body(pram::SnapshotSink& sink) override;
+  [[nodiscard]] bool restore_body(pram::SnapshotSource& source) override;
+
  private:
   /// Degraded-mode protocol shared by step() and serve(): majority-vote
   /// reads over every surviving copy, write-through to every survivor.

@@ -18,6 +18,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kRehash: return "rehash";
     case EventKind::kCacheInvalidateDead: return "cache_invalidate_dead";
     case EventKind::kCacheInvalidateScrub: return "cache_invalidate_scrub";
+    case EventKind::kCheckpointBegin: return "checkpoint_begin";
+    case EventKind::kCheckpointEnd: return "checkpoint_end";
+    case EventKind::kWalReplay: return "wal_replay";
   }
   return "unknown";
 }

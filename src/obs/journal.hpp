@@ -45,6 +45,11 @@ namespace pramsim::obs {
 ///                   cached line's backing module died after fill)
 ///  kCacheInvalidateScrub  entity=var, a=fill step, b=relocation stamp (a
 ///                   scrub pass relocated storage after fill)
+///  kCheckpointBegin entity=checkpoint step (the step the snapshot
+///                   covers), a=checkpoint ordinal
+///  kCheckpointEnd   entity=checkpoint step, a=serialized bytes
+///  kWalReplay       entity=replayed record's step, unit=record kind
+///                   (durability::WalRecordKind), a=writes replayed
 enum class EventKind : std::uint8_t {
   kFaultOnset = 0,
   kDegradedVote,
@@ -57,9 +62,12 @@ enum class EventKind : std::uint8_t {
   kRehash,
   kCacheInvalidateDead,
   kCacheInvalidateScrub,
+  kCheckpointBegin,
+  kCheckpointEnd,
+  kWalReplay,
 };
 
-inline constexpr std::size_t kEventKindCount = 11;
+inline constexpr std::size_t kEventKindCount = 14;
 
 [[nodiscard]] const char* to_string(EventKind kind);
 

@@ -18,6 +18,7 @@
 #include "pram/access_plan.hpp"
 #include "pram/faults.hpp"
 #include "pram/serve_context.hpp"
+#include "pram/snapshot.hpp"
 #include "pram/types.hpp"
 
 namespace pramsim::memmap {
@@ -248,6 +249,38 @@ class MemorySystem {
     return {};
   }
 
+  // ----- durability surface: snapshot / restore -------------------------
+  //
+  // snapshot() serializes the engine's committed state as one byte
+  // stream: a fixed frame (magic, format version, step clock, m) followed
+  // by the virtual snapshot_body payload. restore() validates the frame,
+  // restores the step clock, then replays the body. The contract:
+  //
+  //  * restore() targets a FRESHLY CONSTRUCTED instance of the SAME
+  //    configuration (scheme spec, seeds): derived state — memory maps,
+  //    share placements, engine schedules — is rebuilt by the
+  //    constructor, the snapshot carries only the mutable committed
+  //    state on top of it.
+  //  * The default bodies round-trip the sparse committed image via
+  //    peek/poke (every variable whose value differs from the initial
+  //    0), so all ten SchemeKinds — and any wrapper whose peek/poke is
+  //    faithful — snapshot unmodified. Organizations with native
+  //    storage (majority copy rows, IDA share rows) override the body
+  //    pair to preserve stamps/placement overlays bit for bit; wrappers
+  //    (cache, faults) nest their inner memory's full frame.
+  //  * snapshot() is deliberately NON-const: a wrapper may have to flush
+  //    internal buffers into its inner scheme first (cache dirty lines —
+  //    the write-back MUST precede serialization or the checkpoint
+  //    captures stale backing state). Observable values never change.
+  //  * restore() returns false on any frame/body mismatch (wrong magic,
+  //    wrong m, truncated stream); the target's state is then
+  //    unspecified and the caller must discard it.
+  //
+  // Both calls run BETWEEN steps, on the serving thread, like scrub().
+
+  void snapshot(SnapshotSink& sink);
+  [[nodiscard]] bool restore(SnapshotSource& source);
+
   /// Attach (or detach, with nullptr) an observability sink. The sink is
   /// caller-owned and must outlive the attachment; schemes write
   /// counters, phase timings, and journal events into it while serving.
@@ -261,6 +294,16 @@ class MemorySystem {
   [[nodiscard]] obs::Sink* observer() const { return obs_; }
 
  protected:
+  /// Serialize the mutable committed state (the part the constructor
+  /// cannot rebuild). Default: the sparse peek image — a count followed
+  /// by (var, value) pairs for every variable peeking non-zero.
+  virtual void snapshot_body(SnapshotSink& sink);
+
+  /// Replay a snapshot_body stream onto a freshly constructed instance.
+  /// Default: poke each recorded pair. Returns false on a malformed or
+  /// truncated stream.
+  [[nodiscard]] virtual bool restore_body(SnapshotSource& source);
+
   /// Advance the engine step clock by one P-RAM step and return the new
   /// stamp. Called exactly once per served step, by whichever entry
   /// serves it (never by adapters that delegate to another entry).

@@ -20,6 +20,7 @@
 #include "obs/sink.hpp"
 #include "pram/memory_system.hpp"
 #include "pram/serve_context.hpp"
+#include "pram/snapshot.hpp"
 #include "pram/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -408,6 +409,53 @@ TEST(CachedMemory, GroupParallelCachedPipelineBitIdenticalAcrossWorkers) {
     EXPECT_EQ(a, b);
     EXPECT_NE(a.find("\"cache.hits\""), std::string::npos);
   }
+}
+
+// Durability regression: snapshot() must write DIRTY LINES BACK to the
+// inner memory BEFORE serializing it — the original ordering serialized
+// the backing state first and produced checkpoints with stale words
+// under every dirty line. The restored cache starts cold with a fully
+// up-to-date backing image.
+TEST(CachedMemory, SnapshotFlushesDirtyLinesBeforeSerializing) {
+  auto flat = std::make_unique<pram::FlatMemory>(8);
+  pram::FlatMemory* inner = flat.get();
+  cache::CachedMemory cached(std::move(flat),
+                             cache::CacheConfig{.capacity = 4});
+
+  std::vector<VarId> no_reads;
+  std::vector<pram::Word> no_values;
+  const std::vector<pram::VarWrite> writes = {{VarId(0), 10},
+                                              {VarId(1), 11},
+                                              {VarId(5), 55}};
+  cached.step(no_reads, no_values, writes);
+  // The lines are dirty: the inner memory is stale by design...
+  ASSERT_EQ(inner->peek(VarId(0)), 0);
+  ASSERT_EQ(cached.stats().writebacks, 0u);
+
+  // ...but serialization must flush first, so the checkpoint image (and
+  // the inner memory it nests) carries the committed values.
+  pram::BufferSink sink;
+  cached.snapshot(sink);
+  const auto bytes = sink.take();
+  EXPECT_EQ(inner->peek(VarId(0)), 10);
+  EXPECT_EQ(inner->peek(VarId(1)), 11);
+  EXPECT_EQ(inner->peek(VarId(5)), 55);
+  EXPECT_EQ(cached.stats().writebacks, 3u);
+  // Flushing is not eviction: the lines stay resident (now clean).
+  EXPECT_EQ(cached.occupancy(), 3u);
+  EXPECT_EQ(cached.peek(VarId(5)), 55);
+
+  // Restore into a fresh wrapper: values correct, cache cold.
+  cache::CachedMemory restored(std::make_unique<pram::FlatMemory>(8),
+                               cache::CacheConfig{.capacity = 4});
+  pram::BufferSource source(bytes);
+  ASSERT_TRUE(restored.restore(source));
+  ASSERT_TRUE(source.exhausted());
+  EXPECT_EQ(restored.occupancy(), 0u);
+  EXPECT_EQ(restored.peek(VarId(0)), 10);
+  EXPECT_EQ(restored.peek(VarId(1)), 11);
+  EXPECT_EQ(restored.peek(VarId(5)), 55);
+  EXPECT_EQ(restored.peek(VarId(2)), 0);
 }
 
 }  // namespace

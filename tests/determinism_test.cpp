@@ -7,11 +7,14 @@
 
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/driver.hpp"
 #include "core/schemes.hpp"
+#include "durability/recovery.hpp"
 #include "faults/fault_model.hpp"
 #include "obs/export.hpp"
+#include "pram/snapshot.hpp"
 #include "util/parallel.hpp"
 
 namespace pramsim {
@@ -236,6 +239,115 @@ TEST(Determinism, ObsSnapshotBitIdenticalAcrossWorkersAndReruns) {
     EXPECT_EQ(obs::to_json(rerun.obs, snapshot), reference)
         << core::to_string(kind) << " rerun";
   }
+}
+
+// ----- durability: crash recovery is deterministic and idempotent ------
+
+void expect_crash_identical(const core::CrashRecoveryResult& a,
+                            const core::CrashRecoveryResult& b,
+                            const std::string& what) {
+  EXPECT_EQ(a.kill_step, b.kill_step) << what;
+  EXPECT_EQ(a.durable_step, b.durable_step) << what;
+  EXPECT_EQ(a.bit_exact, b.bit_exact) << what;
+  EXPECT_EQ(a.vars_checked, b.vars_checked) << what;
+  EXPECT_EQ(a.lost_committed_writes, b.lost_committed_writes) << what;
+  EXPECT_EQ(a.recovery.checkpoint_loaded, b.recovery.checkpoint_loaded)
+      << what;
+  EXPECT_EQ(a.recovery.checkpoint_step, b.recovery.checkpoint_step) << what;
+  EXPECT_EQ(a.recovery.replayed_records, b.recovery.replayed_records) << what;
+  EXPECT_EQ(a.recovery.replayed_writes, b.recovery.replayed_writes) << what;
+  EXPECT_EQ(a.recovery.skipped_records, b.recovery.skipped_records) << what;
+  EXPECT_EQ(a.recovery.torn_wal_tail, b.recovery.torn_wal_tail) << what;
+  EXPECT_EQ(a.recovery.recovered_step, b.recovery.recovered_step) << what;
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes) << what;
+  EXPECT_EQ(a.wal_bytes, b.wal_bytes) << what;
+}
+
+// The whole crash-and-recover trajectory — kill step, durable horizon,
+// checkpoint/WAL byte counts, replay record counts, bit-exactness — must
+// not depend on the executor worker count, including with the
+// group-parallel serve backend fanning out inside each step.
+TEST(Determinism, CrashRecoveryBitIdenticalAcrossWorkerCounts) {
+  WorkerOverrideGuard guard;
+  std::vector<core::SchemeSpec> specs = {
+      {.kind = core::SchemeKind::kDmmpc, .n = 16, .seed = 3},
+      {.kind = core::SchemeKind::kIda, .n = 16, .seed = 3},
+  };
+  core::SchemeSpec gp{.kind = core::SchemeKind::kDmmpc, .n = 16, .seed = 3};
+  gp.backend = pram::ServeBackend::kGroupParallel;
+  specs.push_back(gp);
+
+  std::size_t index = 0;
+  for (const auto& spec : specs) {
+    core::SimulationPipeline pipeline(spec);
+    if (spec.backend == pram::ServeBackend::kGroupParallel) {
+      ASSERT_EQ(pipeline.scheme().backend, pram::ServeBackend::kGroupParallel);
+    }
+    core::CrashRecoveryOptions options;
+    options.steps = 20;
+    options.seed = 17;
+    options.kill_point = core::KillPoint::kMidWalAppend;
+    options.durability.directory =
+        std::string(::testing::TempDir()) + "/determinism_crash_" +
+        std::to_string(index);
+
+    std::vector<core::CrashRecoveryResult> results;
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      util::set_parallel_workers_override(workers);
+      results.push_back(pipeline.run_crash_recovery(options));
+    }
+    util::set_parallel_workers_override(0);
+
+    EXPECT_TRUE(results[0].bit_exact) << "spec " << index;
+    const std::string what = "spec " + std::to_string(index);
+    expect_crash_identical(results[0], results[1], what + " @2 workers");
+    expect_crash_identical(results[0], results[2], what + " @4 workers");
+    ++index;
+  }
+}
+
+// Recovery must be idempotent: recovering the SAME on-disk state twice
+// into one machine, or once into another, yields byte-identical
+// snapshots. The WAL replays absolute committed values, so a recovery
+// that itself crashes and reruns cannot drift.
+TEST(Determinism, RecoveryIsIdempotentOverTheSameDiskState) {
+  const core::SchemeSpec spec{.kind = core::SchemeKind::kDmmpc,
+                              .n = 16,
+                              .seed = 3};
+  core::SimulationPipeline pipeline(spec);
+  core::CrashRecoveryOptions options;
+  options.steps = 20;
+  options.seed = 23;
+  options.kill_point = core::KillPoint::kAfterWalFlush;
+  options.durability.directory =
+      std::string(::testing::TempDir()) + "/determinism_idempotent";
+  const auto result = pipeline.run_crash_recovery(options);
+  ASSERT_TRUE(result.bit_exact);
+
+  // run_crash_recovery leaves the WAL and checkpoints on disk; recover
+  // from them by hand, repeatedly.
+  const std::string wal_path = options.durability.directory + "/wal.log";
+  const auto snapshot_of = [](pram::MemorySystem& memory) {
+    pram::BufferSink sink;
+    memory.snapshot(sink);
+    return sink.take();
+  };
+
+  auto once = core::make_memory(spec);
+  (void)durability::recover(*once, wal_path, options.durability.directory);
+  const auto bytes_once = snapshot_of(*once);
+
+  // Second recovery of the SAME machine: nothing changes.
+  const auto again = durability::recover(*once, wal_path,
+                                         options.durability.directory);
+  EXPECT_EQ(again.recovered_step, result.recovery.recovered_step);
+  EXPECT_EQ(snapshot_of(*once), bytes_once);
+
+  // A fresh machine recovered once lands on the same bytes.
+  auto fresh = core::make_memory(spec);
+  (void)durability::recover(*fresh, wal_path, options.durability.directory);
+  EXPECT_EQ(snapshot_of(*fresh), bytes_once);
 }
 
 }  // namespace

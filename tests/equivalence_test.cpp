@@ -16,12 +16,15 @@
 
 #include "cache/cached_memory.hpp"
 #include "core/driver.hpp"
+#include "core/plan_builder.hpp"
 #include "core/schemes.hpp"
 #include "faults/fault_model.hpp"
 #include "faults/faultable_memory.hpp"
 #include "obs/sink.hpp"
 #include "pram/machine.hpp"
 #include "pram/programs.hpp"
+#include "pram/serve_context.hpp"
+#include "pram/snapshot.hpp"
 #include "pram/trace.hpp"
 #include "util/rng.hpp"
 
@@ -363,6 +366,66 @@ TEST_P(AllKindsTest, CachedOverRateZeroFaultableIsTransparent) {
   const auto stats = observer->reliability();
   EXPECT_EQ(stats.wrong_reads, 0u) << core::to_string(kind());
   EXPECT_EQ(stats.uncorrectable, 0u) << core::to_string(kind());
+}
+
+// Durability transparency gate: snapshot/restore at checkpoint interval
+// 1. After EVERY served step the scheme is serialized and restored into
+// a FRESHLY CONSTRUCTED instance, which then serves the next step — so
+// any mutable state a snapshot_body forgets (copy stamps, share rows,
+// hash tables, relocation overlays) desynchronizes the run immediately.
+// Reads and final memory must stay bit-exact vs an uninterrupted run,
+// for every SchemeKind at both region widths.
+TEST_P(AllKindsTest, SnapshotRestoreEveryStepIsTransparent) {
+  const core::SchemeSpec spec{
+      .kind = kind(), .n = 16, .seed = 5, .region_words = width()};
+  auto reference = core::make_memory(spec);
+  auto hopping = core::make_memory(spec);
+  const std::uint64_t m = reference->size();
+  ASSERT_EQ(m, hopping->size());
+
+  util::Rng trace_rng(31);
+  const auto trace =
+      pram::make_trace(pram::TraceFamily::kUniform, 16, m, 12, trace_rng);
+
+  core::PlanBuilder ref_builder;
+  core::PlanBuilder hop_builder;
+  pram::ServeContext ref_ctx;
+  pram::ServeContext hop_ctx;
+  std::vector<pram::Word> ref_values;
+  std::vector<pram::Word> hop_values;
+  for (std::size_t step = 0; step < trace.size(); ++step) {
+    const auto& ref_plan = ref_builder.build(trace[step], *reference);
+    ref_values.resize(ref_plan.reads.size());
+    ref_ctx.bind(ref_values);
+    (void)reference->serve(ref_plan, ref_ctx);
+
+    const auto& hop_plan = hop_builder.build(trace[step], *hopping);
+    hop_values.resize(hop_plan.reads.size());
+    hop_ctx.bind(hop_values);
+    (void)hopping->serve(hop_plan, hop_ctx);
+
+    ASSERT_EQ(ref_values, hop_values)
+        << core::to_string(kind()) << " w" << width() << " step " << step;
+
+    // Checkpoint-interval-1: serialize, then resume on a fresh instance.
+    pram::BufferSink sink;
+    hopping->snapshot(sink);
+    const auto bytes = sink.take();
+    auto restored = core::make_memory(spec);
+    pram::BufferSource source(bytes);
+    ASSERT_TRUE(restored->restore(source))
+        << core::to_string(kind()) << " w" << width() << " step " << step;
+    ASSERT_TRUE(source.exhausted())
+        << core::to_string(kind()) << " w" << width() << " step " << step;
+    EXPECT_EQ(restored->steps_served(), hopping->steps_served());
+    hopping = std::move(restored);
+  }
+
+  for (std::uint64_t v = 0; v < m; ++v) {
+    const VarId var(static_cast<std::uint32_t>(v));
+    ASSERT_EQ(reference->peek(var), hopping->peek(var))
+        << core::to_string(kind()) << " w" << width() << " var " << v;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

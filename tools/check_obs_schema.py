@@ -29,6 +29,9 @@ EVENT_KINDS = [
     "rehash",
     "cache_invalidate_dead",
     "cache_invalidate_scrub",
+    "checkpoint_begin",
+    "checkpoint_end",
+    "wal_replay",
 ]
 EVENT_KIND_INDEX = {kind: i for i, kind in enumerate(EVENT_KINDS)}
 
