@@ -215,6 +215,7 @@ void FaultableMemory::snapshot_body(pram::SnapshotSink& sink) {
 
   std::vector<std::uint64_t> vars;
   vars.reserve(checker_.ideal().size());
+  // pramlint: ordered-fold (keys collected then sorted before emission)
   for (const auto& [var, value] : checker_.ideal()) {
     (void)value;
     vars.push_back(var);

@@ -46,6 +46,7 @@ pram::MemStepCost MvMemory::step(std::span<const VarId> reads,
     touch(w.var);
   }
   std::uint32_t max_load = 0;
+  // pramlint: ordered-fold (max over per-module counts is commutative)
   for (const auto& [module, count] : load) {
     (void)module;
     max_load = std::max(max_load, count);

@@ -284,6 +284,22 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   for (std::size_t i = 0; i < writes.size(); ++i) {
     writes_by_block[block_of(writes[i].var)].push_back(i);
   }
+  // Canonical block order for both phases: the least-loaded-share
+  // selection in charge_read_block consults module_load as it
+  // accumulates, so the fold order reaches the round telemetry —
+  // iterate blocks sorted, never in hash order.
+  // pramlint: ordered-fold (keys collected then sorted before any fold)
+  std::vector<std::uint64_t> read_block_order(read_blocks.begin(),
+                                              read_blocks.end());
+  std::sort(read_block_order.begin(), read_block_order.end());
+  std::vector<std::uint64_t> write_block_order;
+  write_block_order.reserve(writes_by_block.size());
+  // pramlint: ordered-fold (keys collected then sorted before any fold)
+  for (const auto& [blk, idxs] : writes_by_block) {
+    (void)idxs;
+    write_block_order.push_back(blk);
+  }
+  std::sort(write_block_order.begin(), write_block_order.end());
 
   // Module round accounting: modules serve one share per round, so a
   // phase's duration is its maximum per-module share count.
@@ -316,13 +332,13 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   };
 
   // ---- phase 1: reads (pre-step state) -----------------------------
-  for (const auto blk : read_blocks) {
+  for (const auto blk : read_block_order) {
     charge_read_block(blk);
   }
   std::unordered_map<std::uint64_t, std::vector<pram::Word>> decoded;
   {
     obs::ScopedPhase timer(timing, obs::Phase::kDecode);
-    for (const auto blk : read_blocks) {
+    for (const auto blk : read_block_order) {
       decoded.emplace(blk, decode_block(blk));
     }
   }
@@ -353,7 +369,8 @@ pram::MemStepCost IdaMemory::step(std::span<const VarId> reads,
   // ---- phase 2: writes (read-modify-write per block) ---------------
   std::fill(module_load.begin(), module_load.end(), 0);
   obs::ScopedPhase encode_timer(timing, obs::Phase::kEncode);
-  for (const auto& [blk, idxs] : writes_by_block) {
+  for (const auto blk : write_block_order) {
+    const auto& idxs = writes_by_block.at(blk);
     // The block must be fetched (b shares) unless this step already read
     // it, then re-encoded and fully rewritten (d shares).
     if (read_blocks.find(blk) == read_blocks.end()) {
@@ -700,6 +717,7 @@ void IdaMemory::snapshot_body(pram::SnapshotSink& sink) {
 
   std::vector<std::uint64_t> regions;
   regions.reserve(shares_.size());
+  // pramlint: ordered-fold (keys collected then sorted before emission)
   for (const auto& [region, row] : shares_) {
     (void)row;
     regions.push_back(region);
@@ -714,6 +732,7 @@ void IdaMemory::snapshot_body(pram::SnapshotSink& sink) {
 
   std::vector<std::uint64_t> keys;
   keys.reserve(relocated_.size());
+  // pramlint: ordered-fold (keys collected then sorted before emission)
   for (const auto& [key, module] : relocated_) {
     (void)module;
     keys.push_back(key);

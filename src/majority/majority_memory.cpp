@@ -604,6 +604,7 @@ void MajorityMemory::snapshot_body(pram::SnapshotSink& sink) {
 
   std::vector<std::uint64_t> regions;
   regions.reserve(store_.rows().size());
+  // pramlint: ordered-fold (keys collected then sorted before emission)
   for (const auto& [region, row] : store_.rows()) {
     (void)row;
     regions.push_back(region);
@@ -620,6 +621,7 @@ void MajorityMemory::snapshot_body(pram::SnapshotSink& sink) {
 
   std::vector<std::uint64_t> keys;
   keys.reserve(relocated_.size());
+  // pramlint: ordered-fold (keys collected then sorted before emission)
   for (const auto& [key, module] : relocated_) {
     (void)module;
     keys.push_back(key);

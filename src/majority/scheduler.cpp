@@ -133,9 +133,22 @@ std::uint64_t legacy_contention_round(std::vector<LegacyRequestState>& states,
       }
     }
   }
-  std::uint64_t served = 0;
+  // Resolve winners in ascending module order: a request that wins two
+  // modules in the same round with one access left takes whichever is
+  // resolved first, so the resolve order steers the surviving copy mask
+  // and with it the next round's claims — i.e. the round telemetry.
+  // Canonicalize instead of trusting hash order.
+  std::vector<std::uint32_t> module_order;
+  module_order.reserve(claims.size());
+  // pramlint: ordered-fold (keys collected then sorted before resolving)
   for (const auto& [module, entry] : claims) {
-    (void)module;
+    (void)entry;
+    module_order.push_back(module);
+  }
+  std::sort(module_order.begin(), module_order.end());
+  std::uint64_t served = 0;
+  for (const auto module : module_order) {
+    const auto& entry = claims.at(module);
     max_module_queue = std::max<std::uint64_t>(max_module_queue,
                                                entry.second);
     const Probe& winner = entry.first;

@@ -48,6 +48,10 @@ RouteReport route_all(std::vector<Packet>& packets, std::uint64_t max_cycles,
         }
       }
     }
+    // Each packet claims exactly one edge per cycle, so every claim's
+    // winner is a distinct packet and the per-packet updates commute;
+    // the only cross-claim folds are a max and a sum.
+    // pramlint: ordered-fold (distinct winners; max/sum folds commute)
     for (const auto& [key, claim] : claims) {
       (void)key;
       report.max_edge_queue =

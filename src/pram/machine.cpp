@@ -271,7 +271,19 @@ StepOutcome Machine::step() {
   }
 
   const ConflictPolicy policy = config_.policy;
+  // Conflict scans abort on the first violating variable, so the scan
+  // order picks WHICH conflict a failing program reports — canonicalize
+  // it (lowest variable wins) instead of trusting hash order.
+  std::vector<std::uint32_t> conflict_order;
+  conflict_order.reserve(readers.size());
+  // pramlint: ordered-fold (keys collected then sorted before the scan)
   for (const auto& [var, rinfo] : readers) {
+    (void)rinfo;
+    conflict_order.push_back(var);
+  }
+  std::sort(conflict_order.begin(), conflict_order.end());
+  for (const auto var : conflict_order) {
+    const ReadInfo& rinfo = readers.at(var);
     const bool multiple_readers = rinfo.count > 1;
     const auto wit = writers.find(var);
     const bool written = wit != writers.end();
@@ -286,7 +298,15 @@ StepOutcome Machine::step() {
           {VarId(var), rinfo.first, wit->second.front().proc, true});
     }
   }
-  for (auto& [var, ws] : writers) {
+  conflict_order.clear();
+  // pramlint: ordered-fold (keys collected then sorted before the scan)
+  for (const auto& [var, ws] : writers) {
+    (void)ws;
+    conflict_order.push_back(var);
+  }
+  std::sort(conflict_order.begin(), conflict_order.end());
+  for (const auto var : conflict_order) {
+    auto& ws = writers.at(var);
     if (ws.size() > 1) {
       if (policy == ConflictPolicy::kErew || policy == ConflictPolicy::kCrew) {
         return fail_conflict({VarId(var), ws[0].proc, ws[1].proc, true});
@@ -317,7 +337,10 @@ StepOutcome Machine::step() {
     ++raw_read_idx;
   }
 
-  // Resolve concurrent writes to one committed value per variable.
+  // Resolve concurrent writes to one committed value per variable. Each
+  // variable's winner is computed from its own deferred list alone and
+  // combined_writes_ is sorted by var below, so this fold is order-free.
+  // pramlint: ordered-fold (per-var winners independent; output sorted)
   for (auto& [var, ws] : writers) {
     DeferredWrite winner = ws.front();
     for (const auto& w : ws) {

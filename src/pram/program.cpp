@@ -1,7 +1,10 @@
 #include "pram/program.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -112,8 +115,18 @@ const Instruction& Program::at(std::size_t pc) const {
 std::string Program::listing() const {
   std::ostringstream out;
   out << "; program: " << name_ << " (" << code_.size() << " instructions)\n";
-  std::unordered_map<std::size_t, std::string> rev;
+  // Two labels can share a pc; insertion order into `rev` decides which
+  // one the listing prints, so iterate labels in sorted (pc, name) order
+  // to keep the listing byte-stable across platforms.
+  std::vector<std::pair<std::size_t, std::string>> ordered;
+  ordered.reserve(labels_.size());
+  // pramlint: ordered-fold (entries collected then sorted before use)
   for (const auto& [name, pc] : labels_) {
+    ordered.emplace_back(pc, name);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::unordered_map<std::size_t, std::string> rev;
+  for (const auto& [pc, name] : ordered) {
     rev[pc] = name;
   }
   for (std::size_t pc = 0; pc < code_.size(); ++pc) {

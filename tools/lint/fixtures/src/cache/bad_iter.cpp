@@ -1,0 +1,24 @@
+// pramlint fixture: unordered iteration without an ordered-fold
+// annotation — both the range-for form and the explicit .begin() form.
+// expect: unordered-iter, unordered-iter
+#include <cstdint>
+#include <unordered_map>
+
+namespace pramsim::cache {
+
+class IterProbe {
+ public:
+  std::uint64_t fold() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, value] : table_) {
+      sum += key + value;
+    }
+    auto it = table_.begin();
+    return it == table_.end() ? sum : sum + it->second;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+};
+
+}  // namespace pramsim::cache

@@ -1,0 +1,25 @@
+// pramlint fixture: unordered iteration carrying an ordered-fold
+// annotation with its invariant — suppressed at the site, not the file.
+// expect: none
+#include <cstdint>
+#include <unordered_map>
+
+namespace pramsim::cache {
+
+class AnnotatedProbe {
+ public:
+  std::uint64_t max_count() const {
+    std::uint64_t best = 0;
+    // pramlint: ordered-fold (max over per-key counts is commutative)
+    for (const auto& [key, count] : counts_) {
+      (void)key;
+      best = best > count ? best : count;
+    }
+    return best;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+}  // namespace pramsim::cache

@@ -1,0 +1,13 @@
+// pramlint fixture: wall-clock reads and ambient configuration.
+// expect: ban-time, ban-env
+#include <cstdlib>
+
+namespace pramsim::core {
+
+long time_env_probe() {
+  long stamp = static_cast<long>(time(nullptr));
+  const char* knob = getenv("PRAMSIM_KNOB");
+  return stamp + (knob != nullptr ? 1 : 0);
+}
+
+}  // namespace pramsim::core

@@ -1,0 +1,10 @@
+// pramlint fixture: an include into a directory that is not a layer at
+// all — somebody invented a subsystem without registering it.
+// expect: layer-dag
+#include "plugins/extension.hpp"
+
+namespace pramsim::core {
+
+int unknown_dep_probe() { return 4; }
+
+}  // namespace pramsim::core

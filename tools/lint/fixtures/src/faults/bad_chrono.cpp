@@ -1,0 +1,12 @@
+// pramlint fixture: raw chrono outside util::Stopwatch.
+// expect: ban-chrono, ban-chrono
+#include <chrono>
+
+namespace pramsim::faults {
+
+long long chrono_probe() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace pramsim::faults

@@ -1,0 +1,14 @@
+// pramlint fixture: raw threading primitives outside util::parallel.
+// expect: ban-thread, ban-thread
+#include <mutex>
+
+namespace pramsim::hashing {
+
+int thread_probe() {
+  std::mutex gate;
+  gate.lock();
+  gate.unlock();
+  return 5;
+}
+
+}  // namespace pramsim::hashing

@@ -1,0 +1,27 @@
+// pramlint fixture: iterating an unordered container through an
+// accessor that returns a reference to one.
+// expect: unordered-iter
+#include <cstdint>
+#include <unordered_map>
+
+namespace pramsim::ida {
+
+class AccessorProbe {
+ public:
+  std::uint64_t fold() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, value] : shadow()) {
+      sum += key + value;
+    }
+    return sum;
+  }
+
+ private:
+  const std::unordered_map<std::uint64_t, std::uint64_t>& shadow() const {
+    return shadow_store;
+  }
+
+  std::unordered_map<std::uint64_t, std::uint64_t> shadow_store;
+};
+
+}  // namespace pramsim::ida

@@ -1,0 +1,11 @@
+// pramlint fixture: two storage organizations must not see each other —
+// they are peers behind pram::MemorySystem.
+// expect: org-cross
+#include "ida/ida_memory.hpp"
+#include "pram/memory_system.hpp"
+
+namespace pramsim::majority {
+
+int cross_org_probe() { return 2; }
+
+}  // namespace pramsim::majority

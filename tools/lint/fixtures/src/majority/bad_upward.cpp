@@ -1,0 +1,12 @@
+// pramlint fixture: an organization reaching up the layer DAG.
+// expect: layer-dag, layer-dag
+#include "core/driver.hpp"
+#include "faults/fault_model.hpp"
+#include "pram/memory_system.hpp"
+#include "util/assert.hpp"
+
+namespace pramsim::majority {
+
+int upward_probe() { return 1; }
+
+}  // namespace pramsim::majority

@@ -1,0 +1,11 @@
+// pramlint fixture: substrate layers (models/network/memmap) sit below
+// the simulation stack and must not include it.
+// expect: layer-dag
+#include "network/topology.hpp"
+#include "pram/machine.hpp"
+
+namespace pramsim::models {
+
+int substrate_up_probe() { return 3; }
+
+}  // namespace pramsim::models

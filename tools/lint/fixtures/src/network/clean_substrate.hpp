@@ -1,0 +1,20 @@
+// pramlint fixture: a well-behaved substrate header — util only.
+// expect: none
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pramsim::net {
+
+inline std::uint64_t clean_probe(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t sum = 0;
+  for (const auto x : xs) {
+    sum += x;
+  }
+  return sum;
+}
+
+}  // namespace pramsim::net

@@ -1,0 +1,25 @@
+// pramlint fixture: banned tokens inside comments, string literals and
+// raw strings must never fire — this exercises the tokenizer.
+// A mention of std::random_device in a comment is fine, as is a
+// commented-out directive:
+//   #include <chrono>
+// expect: none
+#include <cstdint>
+#include <string>
+
+namespace pramsim::obs {
+
+/* Block comments too: std::thread, time(nullptr), getenv("X"). */
+inline std::string strings_probe() {
+  std::string doc = "std::random_device and rand() live in this string";
+  doc += "call getenv(\"HOME\") or std::chrono::steady_clock::now()";
+  doc += R"raw(
+#include <thread>
+std::mutex inside a raw string, plus time( and srand( for good measure
+)raw";
+  const char marker = '"';
+  doc.push_back(marker);
+  return doc;
+}
+
+}  // namespace pramsim::obs

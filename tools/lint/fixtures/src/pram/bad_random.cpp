@@ -1,0 +1,12 @@
+// pramlint fixture: ambient randomness — both the header and the device.
+// expect: ban-random, ban-random
+#include <random>
+
+namespace pramsim::pram {
+
+unsigned random_probe() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace pramsim::pram

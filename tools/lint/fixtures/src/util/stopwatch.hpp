@@ -1,0 +1,17 @@
+// pramlint fixture: the ban-chrono escape hatch — src/util/stopwatch.*
+// is the one place raw chrono is allowed, by construction.
+// expect: none
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pramsim::util {
+
+inline std::uint64_t stopwatch_probe() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>((t1 - t0).count());
+}
+
+}  // namespace pramsim::util
